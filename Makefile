@@ -1,0 +1,46 @@
+# DialEgg-in-Go build targets. Everything is stdlib-only Go; the Makefile
+# only bundles the common invocations.
+
+GO ?= go
+
+.PHONY: all build test vet bench examples fig3 tables full clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Long-form test run with saved output, per the reproduction protocol.
+test-log:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+
+bench:
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/horner
+	$(GO) run ./examples/fastinvsqrt
+	$(GO) run ./examples/matmulchain
+	$(GO) run ./examples/customdialect
+	$(GO) run ./examples/imagegray
+
+# Regenerate the paper's evaluation artifacts (CI scale).
+fig3:
+	$(GO) run ./cmd/benchtab -fig3
+
+tables:
+	$(GO) run ./cmd/benchtab -table1 -table2
+
+# Paper-sized workloads (slow).
+full:
+	$(GO) run ./cmd/benchtab -full
+
+clean:
+	rm -f test_output.txt bench_output.txt

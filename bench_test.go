@@ -1,0 +1,187 @@
+// Package dialegg_test holds the top-level benchmark harness: one
+// testing.B benchmark per paper table/figure, per EXPERIMENTS.md.
+//
+//	go test -bench BenchmarkFig3 .        # Figure 3 execution benchmarks
+//	go test -bench BenchmarkTable2 .      # Table 2 compile-time benchmarks
+//	go test -bench BenchmarkScalability . # Table 2 NMM scalability study
+package dialegg_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dialegg/internal/bench"
+	"dialegg/internal/dialects"
+	"dialegg/internal/dialegg"
+	"dialegg/internal/egraph"
+	"dialegg/internal/interp"
+	"dialegg/internal/mlir"
+	"dialegg/internal/passes"
+	"dialegg/internal/rules"
+)
+
+// BenchmarkFig3 interprets every benchmark under every optimization
+// variant at CI scale; speedup (the figure's y-axis) is reported as the
+// cycles/op custom metric ratio between Baseline and the others.
+func BenchmarkFig3(b *testing.B) {
+	for _, bm := range bench.DefaultBenchmarks(bench.ScaleCI) {
+		variants := []string{
+			bench.VariantBaseline, bench.VariantCanon,
+			bench.VariantDialEgg, bench.VariantDialEggCanon,
+		}
+		if bm.UseGreedyPass {
+			variants = append(variants, bench.VariantGreedyPass)
+		}
+		for _, variant := range variants {
+			b.Run(bm.Name+"/"+variant, func(b *testing.B) {
+				m, err := prepare(bm, variant)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var cycles int64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					in := interp.New(m)
+					if _, err := in.Call(bm.FuncName, bm.Inputs()...); err != nil {
+						b.Fatal(err)
+					}
+					cycles = in.Stats.Cycles
+				}
+				b.ReportMetric(float64(cycles), "modelcycles")
+			})
+		}
+	}
+}
+
+func prepare(bm *bench.Benchmark, variant string) (*mlir.Module, error) {
+	reg := dialects.NewRegistry()
+	m, err := mlir.ParseModule(bm.Source, reg)
+	if err != nil {
+		return nil, err
+	}
+	switch variant {
+	case bench.VariantBaseline:
+	case bench.VariantCanon:
+		_, err = passes.NewPassManager(reg).Add(passes.NewCanonicalize()).Run(m)
+	case bench.VariantDialEgg:
+		_, err = dialegg.NewOptimizer(dialegg.Options{RuleSources: bm.Rules}).OptimizeModule(m)
+	case bench.VariantDialEggCanon:
+		if _, err = dialegg.NewOptimizer(dialegg.Options{RuleSources: bm.Rules}).OptimizeModule(m); err == nil {
+			_, err = passes.NewPassManager(reg).Add(passes.NewCanonicalize()).Run(m)
+		}
+	case bench.VariantGreedyPass:
+		_, err = passes.NewPassManager(reg).Add(passes.NewMatmulReassociate()).Run(m)
+	}
+	return m, err
+}
+
+// BenchmarkTable1 parses and counts dialect ops (the cheap part of the
+// evaluation; mostly measures the MLIR parser).
+func BenchmarkTable1(b *testing.B) {
+	benchs := bench.DefaultBenchmarks(bench.ScaleCI)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunTable1(benchs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2 measures the DialEgg compile-time pipeline (translate,
+// saturate, extract, translate back) per benchmark.
+func BenchmarkTable2(b *testing.B) {
+	for _, bm := range bench.DefaultBenchmarks(bench.ScaleCI) {
+		b.Run(bm.Name, func(b *testing.B) {
+			reg := dialects.NewRegistry()
+			m, err := mlir.ParseModule(bm.Source, reg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var sat time.Duration
+			for i := 0; i < b.N; i++ {
+				mc := m.Clone()
+				opt := dialegg.NewOptimizer(dialegg.Options{RuleSources: bm.Rules})
+				rep, err := opt.OptimizeModule(mc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sat = rep.Saturation
+			}
+			b.ReportMetric(float64(sat.Microseconds()), "saturation-µs")
+		})
+	}
+}
+
+// BenchmarkScalability saturates growing matmul chains (Table 2's
+// 3/10/20MM rows; longer chains are exercised by cmd/benchtab, where the
+// run is bounded, because the growth is intentionally super-linear).
+func BenchmarkScalability(b *testing.B) {
+	for _, n := range []int{3, 6, 10, 14} {
+		b.Run(fmt.Sprintf("%dMM", n), func(b *testing.B) {
+			dims := bench.NMMDims(n)
+			src := bench.MatmulChainSource(fmt.Sprintf("mm%d", n), dims)
+			reg := dialects.NewRegistry()
+			m, err := mlir.ParseModule(src, reg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				mc := m.Clone()
+				opt := dialegg.NewOptimizer(dialegg.Options{
+					RuleSources: rules.MatmulChain(),
+					RunConfig:   egraph.RunConfig{NodeLimit: 500_000, TimeLimit: 120 * time.Second},
+				})
+				if _, err := opt.OptimizeModule(mc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGreedyScalability is the Table 2 counterpoint: the hand-written
+// pass scales linearly with chain length.
+func BenchmarkGreedyScalability(b *testing.B) {
+	for _, n := range []int{3, 10, 20, 40, 80} {
+		b.Run(fmt.Sprintf("%dMM", n), func(b *testing.B) {
+			dims := bench.NMMDims(n)
+			src := bench.MatmulChainSource(fmt.Sprintf("mm%d", n), dims)
+			reg := dialects.NewRegistry()
+			m, err := mlir.ParseModule(src, reg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				mc := m.Clone()
+				pm := passes.NewPassManager(reg).Add(passes.NewMatmulReassociate())
+				pm.SkipVerify = true
+				if _, err := pm.Run(mc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCanonicalization measures the classical pass on the benchmark
+// programs (Table 2's Canon column).
+func BenchmarkCanonicalization(b *testing.B) {
+	for _, bm := range bench.DefaultBenchmarks(bench.ScaleCI) {
+		b.Run(bm.Name, func(b *testing.B) {
+			reg := dialects.NewRegistry()
+			m, err := mlir.ParseModule(bm.Source, reg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				mc := m.Clone()
+				pm := passes.NewPassManager(reg).Add(passes.NewCanonicalize())
+				pm.SkipVerify = true
+				if _, err := pm.Run(mc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,176 @@
+package dialegg_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles one of the cmd/ binaries into a temp dir.
+func buildTool(t *testing.T, name string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build ./cmd/%s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+const cliProgram = `
+func.func @scale(%x: i64) -> i64 {
+  %c256 = arith.constant 256 : i64
+  %r = arith.divsi %x, %c256 : i64
+  func.return %r : i64
+}
+`
+
+// TestEggOptCLI drives the egg-opt binary end to end: bundled rules,
+// custom rule files, --emit-egg, and the canonicalize flag.
+func TestEggOptCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short")
+	}
+	bin := buildTool(t, "egg-opt")
+	dir := t.TempDir()
+	mlirPath := filepath.Join(dir, "prog.mlir")
+	if err := os.WriteFile(mlirPath, []byte(cliProgram), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := exec.Command(bin, "-rules", "imgconv", mlirPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("egg-opt: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "arith.shrsi") || strings.Contains(string(out), "arith.divsi") {
+		t.Errorf("division not rewritten:\n%s", out)
+	}
+
+	// --emit-egg shows the translation.
+	out, err = exec.Command(bin, "-rules", "imgconv", "-emit-egg", mlirPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("egg-opt -emit-egg: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "(arith_divsi") || !strings.Contains(string(out), "(Value 0 (I64))") {
+		t.Errorf("emit-egg output unexpected:\n%s", out)
+	}
+
+	// A user-supplied rule file via -egg.
+	eggPath := filepath.Join(dir, "my.egg")
+	ruleText := `
+(function arith_constant (AttrPair Type) Op :cost 10)
+(function arith_divsi (Op Op Type) Op :cost 180)
+(function arith_shrsi (Op Op Type) Op :cost 10)
+(rule ((= ?lhs (arith_divsi ?x (arith_constant (NamedAttr "value" (IntegerAttr ?n ?t)) ?t) ?t))
+       (= ?k (log2 ?n)) (= ?n (<< 1 ?k)))
+      ((union ?lhs (arith_shrsi ?x (arith_constant (NamedAttr "value" (IntegerAttr ?k ?t)) ?t) ?t))))
+`
+	if err := os.WriteFile(eggPath, []byte(ruleText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = exec.Command(bin, "-egg", eggPath, "-canonicalize", mlirPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("egg-opt -egg: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "arith.shrsi") {
+		t.Errorf("custom rule file did not apply:\n%s", out)
+	}
+
+	// Bad input reports a non-zero exit.
+	if err := exec.Command(bin, "-rules", "nope", mlirPath).Run(); err == nil {
+		t.Error("unknown rule set accepted")
+	}
+}
+
+// TestMLIRRunCLI drives the interpreter binary.
+func TestMLIRRunCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short")
+	}
+	bin := buildTool(t, "mlir-run")
+	dir := t.TempDir()
+	mlirPath := filepath.Join(dir, "prog.mlir")
+	if err := os.WriteFile(mlirPath, []byte(cliProgram), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin, "-fn", "scale", "-int-args", "1024", "-counts", mlirPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("mlir-run: %v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "result[0] = 4") {
+		t.Errorf("1024/256 should be 4:\n%s", s)
+	}
+	if !strings.Contains(s, "cycles = ") || !strings.Contains(s, "arith.divsi") {
+		t.Errorf("missing cycle/count report:\n%s", s)
+	}
+}
+
+// TestEgglogCLI drives the standalone egglog interpreter.
+func TestEgglogCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short")
+	}
+	bin := buildTool(t, "egglog")
+	dir := t.TempDir()
+	eggPath := filepath.Join(dir, "fig1.egg")
+	prog := `
+(sort Expr)
+(function Num (i64) Expr :cost 1)
+(function Var (String) Expr :cost 1)
+(function Mul (Expr Expr) Expr :cost 2)
+(function Div (Expr Expr) Expr :cost 2)
+(function Shl (Expr Expr) Expr :cost 1)
+(rewrite (Div ?x ?x) (Num 1))
+(rewrite (Mul ?x (Num 1)) ?x)
+(rewrite (Mul ?x (Num 2)) (Shl ?x (Num 1)))
+(rewrite (Div (Mul ?x ?y) ?z) (Mul ?x (Div ?y ?z)))
+(let expr (Div (Mul (Var "a") (Num 2)) (Num 2)))
+(run 20)
+(check (= expr (Var "a")))
+(extract expr)
+`
+	if err := os.WriteFile(eggPath, []byte(prog), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dotPath := filepath.Join(dir, "g.dot")
+	out, err := exec.Command(bin, "-dot", dotPath, eggPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("egglog: %v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, `(Var "a") ; cost 1`) {
+		t.Errorf("extraction output wrong:\n%s", s)
+	}
+	if !strings.Contains(s, "check passed") {
+		t.Errorf("check output missing:\n%s", s)
+	}
+	dot, err := os.ReadFile(dotPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(dot), "digraph egraph") || !strings.Contains(string(dot), "cluster_") {
+		t.Errorf("dot output malformed:\n%s", dot)
+	}
+}
+
+// TestBenchtabCLI smoke-tests the table regenerator on Table 1 only (the
+// cheap path).
+func TestBenchtabCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short")
+	}
+	bin := buildTool(t, "benchtab")
+	out, err := exec.Command(bin, "-table1").CombinedOutput()
+	if err != nil {
+		t.Fatalf("benchtab: %v\n%s", err, out)
+	}
+	for _, want := range []string{"Img Conv", "2MM", "linalg"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("table 1 missing %q:\n%s", want, out)
+		}
+	}
+}

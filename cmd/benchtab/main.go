@@ -1,0 +1,75 @@
+// Command benchtab regenerates the paper's evaluation artifacts: Figure 3
+// (speedups of DialEgg vs canonicalization vs the hand-written pass),
+// Table 1 (per-dialect op counts), and Table 2 (compile-time breakdown
+// including the NMM scalability study).
+//
+// Usage:
+//
+//	benchtab             # everything at CI scale
+//	benchtab -full       # the paper's workload sizes (minutes)
+//	benchtab -fig3       # only Figure 3
+//	benchtab -table2 -chains 10,20,40,80
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dialegg/internal/bench"
+)
+
+func main() {
+	fig3 := flag.Bool("fig3", false, "regenerate Figure 3")
+	table1 := flag.Bool("table1", false, "regenerate Table 1")
+	table2 := flag.Bool("table2", false, "regenerate Table 2")
+	full := flag.Bool("full", false, "use the paper's full workload sizes")
+	chains := flag.String("chains", "10,20,40,80", "NMM scalability chain lengths for Table 2")
+	flag.Parse()
+
+	if !*fig3 && !*table1 && !*table2 {
+		*fig3, *table1, *table2 = true, true, true
+	}
+	scale := bench.ScaleCI
+	if *full {
+		scale = bench.ScaleFull
+	}
+	benchs := bench.DefaultBenchmarks(scale)
+
+	if *table1 {
+		rows, err := bench.RunTable1(benchs)
+		fatalIf(err)
+		fmt.Println(bench.FormatTable1(rows))
+	}
+	if *fig3 {
+		fmt.Println("running Figure 3 benchmarks (baseline, canonicalization, DialEgg, DialEgg+canon, greedy pass)...")
+		rows, err := bench.RunFig3(benchs)
+		fatalIf(err)
+		fmt.Println(bench.FormatFig3(rows))
+	}
+	if *table2 {
+		var sizes []int
+		for _, s := range strings.Split(*chains, ",") {
+			s = strings.TrimSpace(s)
+			if s == "" {
+				continue
+			}
+			n, err := strconv.Atoi(s)
+			fatalIf(err)
+			sizes = append(sizes, n)
+		}
+		fmt.Println("running Table 2 compile-time breakdown (this saturates the NMM chains; long chains take a while)...")
+		rows, err := bench.RunTable2(benchs, sizes)
+		fatalIf(err)
+		fmt.Println(bench.FormatTable2(rows))
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,160 @@
+// Command egg-opt is the artifact's optimizer driver (§A.7): an mlir-opt
+// style tool that reads an MLIR file, applies equality-saturation
+// optimization with the rewrite rules from one or more .egg files, and
+// prints the optimized MLIR.
+//
+// Usage:
+//
+//	egg-opt [flags] input.mlir
+//	egg-opt -egg rules/div_pow2.egg -egg rules/arith_core.egg prog.mlir
+//
+// With no input path the module is read from stdin. The bundled rule sets
+// can be selected by name with -rules (imgconv, vecnorm, poly, matmul).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"dialegg/internal/dialects"
+	"dialegg/internal/dialegg"
+	"dialegg/internal/egraph"
+	"dialegg/internal/mlir"
+	"dialegg/internal/passes"
+	"dialegg/internal/rules"
+)
+
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, ",") }
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	var eggFiles stringList
+	flag.Var(&eggFiles, "egg", "egglog rule file (repeatable)")
+	ruleSet := flag.String("rules", "", "bundled rule set: imgconv, vecnorm, poly, or matmul")
+	emitEgg := flag.Bool("emit-egg", false, "print the generated egglog program instead of MLIR")
+	canon := flag.Bool("canonicalize", false, "run canonicalization after DialEgg")
+	greedy := flag.Bool("greedy-matmul", false, "run the hand-written greedy matmul pass instead of DialEgg")
+	noDialEgg := flag.Bool("no-dialegg", false, "skip equality saturation (useful with -canonicalize)")
+	iterLimit := flag.Int("iter-limit", 0, "saturation iteration limit (0 = default)")
+	nodeLimit := flag.Int("node-limit", 0, "e-graph node limit (0 = default)")
+	timeLimit := flag.Duration("time-limit", 0, "saturation time limit (0 = default)")
+	stats := flag.Bool("stats", false, "print optimization statistics to stderr")
+	explain := flag.Bool("explain", false, "print a proof for every rewritten operation to stderr")
+	flag.Parse()
+
+	if err := run(eggFiles, *ruleSet, *emitEgg, *canon, *greedy, *noDialEgg, *iterLimit, *nodeLimit, *timeLimit, *stats, *explain); err != nil {
+		fmt.Fprintln(os.Stderr, "egg-opt:", err)
+		os.Exit(1)
+	}
+}
+
+func run(eggFiles []string, ruleSet string, emitEgg, canon, greedy, noDialEgg bool,
+	iterLimit, nodeLimit int, timeLimit time.Duration, stats, explain bool) error {
+
+	var src []byte
+	var err error
+	switch flag.NArg() {
+	case 0:
+		src, err = io.ReadAll(os.Stdin)
+	case 1:
+		src, err = os.ReadFile(flag.Arg(0))
+	default:
+		return fmt.Errorf("expected at most one input file, got %d", flag.NArg())
+	}
+	if err != nil {
+		return err
+	}
+
+	var ruleSrcs []string
+	switch ruleSet {
+	case "":
+	case "imgconv":
+		ruleSrcs = rules.ImgConv()
+	case "vecnorm":
+		ruleSrcs = rules.VecNorm()
+	case "poly":
+		ruleSrcs = rules.Poly()
+	case "matmul":
+		ruleSrcs = rules.MatmulChain()
+	default:
+		return fmt.Errorf("unknown -rules set %q", ruleSet)
+	}
+	for _, f := range eggFiles {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		ruleSrcs = append(ruleSrcs, string(b))
+	}
+
+	reg := dialects.NewRegistry()
+	m, err := mlir.ParseModule(string(src), reg)
+	if err != nil {
+		return err
+	}
+	if err := reg.Verify(m.Op); err != nil {
+		return fmt.Errorf("input verification: %w", err)
+	}
+
+	if greedy {
+		pm := passes.NewPassManager(reg).Add(passes.NewMatmulReassociate())
+		if _, err := pm.Run(m); err != nil {
+			return err
+		}
+	} else if !noDialEgg {
+		opt := dialegg.NewOptimizer(dialegg.Options{
+			RuleSources: ruleSrcs,
+			RunConfig: egraph.RunConfig{
+				IterLimit: iterLimit,
+				NodeLimit: nodeLimit,
+				TimeLimit: timeLimit,
+			},
+			KeepEggProgram:  emitEgg,
+			ExplainRewrites: explain,
+		})
+		rep, err := opt.OptimizeModule(m)
+		if err != nil {
+			return err
+		}
+		if emitEgg {
+			fmt.Print(rep.EggProgram)
+			return nil
+		}
+		if explain {
+			for _, proof := range rep.RewriteExplanations {
+				fmt.Fprintln(os.Stderr, proof)
+			}
+		}
+		if stats {
+			fmt.Fprintf(os.Stderr, "rules: %d, translated ops: %d, opaque ops: %d\n",
+				rep.NumRules, rep.NumTranslatedOps, rep.NumOpaqueOps)
+			fmt.Fprintf(os.Stderr, "saturation: %d iterations, %d nodes, stop: %s\n",
+				rep.Run.Iterations, rep.Run.Nodes, rep.Run.Stop)
+			fmt.Fprintf(os.Stderr, "times: mlir->egg %v, egglog %v (saturation %v), egg->mlir %v\n",
+				rep.MLIRToEgg, rep.EggTotal, rep.Saturation, rep.EggToMLIR)
+			fmt.Fprintf(os.Stderr, "extracted cost: %d\n", rep.ExtractCost)
+		}
+	}
+
+	if canon {
+		pm := passes.NewPassManager(reg).Add(passes.NewCanonicalize())
+		if _, err := pm.Run(m); err != nil {
+			return err
+		}
+	}
+
+	if err := reg.Verify(m.Op); err != nil {
+		return fmt.Errorf("output verification: %w", err)
+	}
+	fmt.Print(mlir.PrintModule(m, reg))
+	return nil
+}

@@ -1,0 +1,111 @@
+// Command egglog is a standalone interpreter for the egglog dialect this
+// repository implements: it executes a program of declarations, facts,
+// rules, runs, checks, and extractions, printing each command's result.
+//
+// Usage:
+//
+//	egglog program.egg
+//	echo '(sort E) ...' | egglog
+//	egglog -dot graph.dot program.egg   # dump the final e-graph
+//
+// The interpreter supports the subset used by the DialEgg paper plus
+// rulesets and run-schedule; see internal/egglog.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dialegg/internal/egglog"
+	"dialegg/internal/sexp"
+)
+
+func main() {
+	dotPath := flag.String("dot", "", "write the final e-graph as Graphviz DOT to this file")
+	stats := flag.Bool("stats", false, "print e-graph statistics after execution")
+	proofs := flag.Bool("proofs", false, "record union provenance so (explain a b) works")
+	flag.Parse()
+
+	if err := run(*dotPath, *stats, *proofs); err != nil {
+		fmt.Fprintln(os.Stderr, "egglog:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dotPath string, stats, proofs bool) error {
+	var src []byte
+	var err error
+	switch flag.NArg() {
+	case 0:
+		src, err = io.ReadAll(os.Stdin)
+	case 1:
+		src, err = os.ReadFile(flag.Arg(0))
+	default:
+		return fmt.Errorf("expected at most one program file")
+	}
+	if err != nil {
+		return err
+	}
+
+	nodes, err := sexp.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	p := egglog.NewProgram()
+	if proofs {
+		p.Graph().EnableExplanations()
+	}
+	// Execute command by command so results interleave with their
+	// commands, like the reference egglog REPL.
+	for _, n := range nodes {
+		results, err := p.Execute([]*sexp.Node{n})
+		if err != nil {
+			return err
+		}
+		for _, r := range results {
+			switch r.Command {
+			case "run", "run-schedule":
+				fmt.Printf("ran %d iterations; stop: %s; %d e-nodes, %d e-classes\n",
+					r.Report.Iterations, r.Report.Stop, r.Report.Nodes, r.Report.Classes)
+			case "extract":
+				if len(r.Variants) > 1 {
+					for _, v := range r.Variants {
+						fmt.Printf("%s ; cost %d\n", v.Term, v.Cost)
+					}
+					break
+				}
+				fmt.Printf("%s ; cost %d\n", r.Term, r.Cost)
+			case "check":
+				fmt.Println("check passed")
+			case "query":
+				fmt.Printf("query: %t\n", r.Holds)
+			case "explain":
+				fmt.Print(r.Explanation)
+			case "print-function":
+				for _, row := range r.Rows {
+					fmt.Println(row)
+				}
+			}
+		}
+	}
+
+	if stats {
+		g := p.Graph()
+		fmt.Fprintf(os.Stderr, "e-graph: %d nodes, %d classes, %d rules\n",
+			g.NumNodes(), g.NumClasses(), p.NumRules())
+	}
+	if dotPath != "" {
+		f, err := os.Create(dotPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		p.Graph().Rebuild()
+		if err := p.Graph().WriteDot(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+// Command mlir-run interprets an MLIR module: it calls a function with
+// deterministically generated inputs and reports the output checksum, the
+// charged cycle count under the latency model, and per-op execution
+// counts. It is the execution substrate used to verify and measure the
+// benchmark programs (DESIGN.md §3).
+//
+// Usage:
+//
+//	mlir-run -fn img2gray prog.mlir
+//	mlir-run -fn classic -int-args 21 prog.mlir
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dialegg/internal/dialects"
+	"dialegg/internal/interp"
+	"dialegg/internal/mlir"
+)
+
+func main() {
+	fn := flag.String("fn", "", "function to run (default: first func in the module)")
+	intArgs := flag.String("int-args", "", "comma-separated integer arguments for scalar parameters")
+	floatArgs := flag.String("float-args", "", "comma-separated float arguments for scalar parameters")
+	seed := flag.Int64("seed", 1, "seed for generated tensor inputs")
+	counts := flag.Bool("counts", false, "print per-op execution counts")
+	profile := flag.Bool("profile", false, "print the per-op cycle profile (sorted by cost share)")
+	flag.Parse()
+
+	if err := run(*fn, *intArgs, *floatArgs, *seed, *counts, *profile); err != nil {
+		fmt.Fprintln(os.Stderr, "mlir-run:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fn, intArgs, floatArgs string, seed int64, printCounts, printProfile bool) error {
+	var src []byte
+	var err error
+	if flag.NArg() == 1 {
+		src, err = os.ReadFile(flag.Arg(0))
+	} else {
+		src, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		return err
+	}
+	reg := dialects.NewRegistry()
+	m, err := mlir.ParseModule(string(src), reg)
+	if err != nil {
+		return err
+	}
+	if err := reg.Verify(m.Op); err != nil {
+		return err
+	}
+
+	if fn == "" {
+		funcs := m.Funcs()
+		if len(funcs) == 0 {
+			return fmt.Errorf("module has no functions")
+		}
+		fn = mlir.FuncName(funcs[0])
+	}
+	f, ok := m.FindFunc(fn)
+	if !ok {
+		return fmt.Errorf("function @%s not found", fn)
+	}
+	ft, _ := mlir.FuncType(f)
+
+	ints := splitNums(intArgs)
+	floats := splitNums(floatArgs)
+	rng := rand.New(rand.NewSource(seed))
+	var args []interp.Value
+	intIdx, floatIdx := 0, 0
+	for i, t := range ft.Inputs {
+		switch tt := t.(type) {
+		case mlir.IntegerType, mlir.IndexType:
+			v := int64(1)
+			if intIdx < len(ints) {
+				v, err = strconv.ParseInt(ints[intIdx], 10, 64)
+				if err != nil {
+					return fmt.Errorf("bad -int-args entry %q", ints[intIdx])
+				}
+				intIdx++
+			}
+			args = append(args, interp.IntValue(v))
+		case mlir.FloatType:
+			v := 1.0
+			if floatIdx < len(floats) {
+				v, err = strconv.ParseFloat(floats[floatIdx], 64)
+				if err != nil {
+					return fmt.Errorf("bad -float-args entry %q", floats[floatIdx])
+				}
+				floatIdx++
+			}
+			args = append(args, interp.FloatValue(v))
+		case mlir.RankedTensorType:
+			if mlir.IsFloat(tt.Elem) {
+				t := interp.NewFloatTensor(tt.Shape...)
+				for j := range t.F {
+					t.F[j] = rng.Float64()
+				}
+				args = append(args, interp.TensorValue(t))
+			} else {
+				t := interp.NewIntTensor(tt.Shape...)
+				for j := range t.I {
+					t.I[j] = int64(rng.Intn(256))
+				}
+				args = append(args, interp.TensorValue(t))
+			}
+		default:
+			return fmt.Errorf("cannot generate input %d of type %s", i, t)
+		}
+	}
+
+	in := interp.New(m)
+	res, err := in.Call(fn, args...)
+	if err != nil {
+		return err
+	}
+	for i, v := range res {
+		if v.IsTensor() {
+			fmt.Printf("result[%d] = %s checksum=%.9g\n", i, v.Tensor(), v.Tensor().Checksum())
+		} else {
+			fmt.Printf("result[%d] = %s\n", i, v)
+		}
+	}
+	fmt.Printf("cycles = %d\n", in.Stats.Cycles)
+	if printProfile {
+		fmt.Print(in.Stats.Profile())
+	}
+	if printCounts {
+		names := make([]string, 0, len(in.Stats.OpCounts))
+		for n := range in.Stats.OpCounts {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("  %-24s %12d\n", n, in.Stats.OpCounts[n])
+		}
+	}
+	return nil
+}
+
+func splitNums(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
+}

@@ -1,0 +1,69 @@
+// Quickstart: optimize a small MLIR function with DialEgg.
+//
+// The program parses the paper's §7.2 example — an integer division by a
+// power of two — runs equality saturation with the conditional
+// div-to-shift rule, prints the IR before and after, and executes both
+// versions to show the cycle savings under the latency model.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dialegg/internal/dialects"
+	"dialegg/internal/dialegg"
+	"dialegg/internal/interp"
+	"dialegg/internal/mlir"
+	"dialegg/internal/rules"
+)
+
+const program = `
+func.func @scale_down(%x: i64) -> i64 {
+  %c3 = arith.constant 3 : i64
+  %c256 = arith.constant 256 : i64
+  %t = arith.muli %x, %c3 : i64
+  %r = arith.divsi %t, %c256 : i64
+  func.return %r : i64
+}
+`
+
+func main() {
+	reg := dialects.NewRegistry()
+	m, err := mlir.ParseModule(program, reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== before ===")
+	fmt.Print(mlir.PrintModule(m, reg))
+	before := run(m)
+
+	// The optimizer needs the egglog declarations for the arith ops plus
+	// the §7.2 rewrite rule; both ship with the repository.
+	opt := dialegg.NewOptimizer(dialegg.Options{RuleSources: rules.ImgConv()})
+	rep, err := opt.OptimizeModule(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n=== after DialEgg ===")
+	fmt.Print(mlir.PrintModule(m, reg))
+	after := run(m)
+
+	fmt.Printf("\nsaturation: %d iterations, %d e-nodes, stop: %s\n",
+		rep.Run.Iterations, rep.Run.Nodes, rep.Run.Stop)
+	fmt.Printf("cycles: %d -> %d (%.2fx)\n", before, after, float64(before)/float64(after))
+}
+
+// run executes @scale_down(1000) and returns the charged cycles.
+func run(m *mlir.Module) int64 {
+	in := interp.New(m)
+	res, err := in.Call("scale_down", interp.IntValue(1000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scale_down(1000) = %d\n", res[0].Int())
+	return in.Stats.Cycles
+}

@@ -1,0 +1,3 @@
+module dialegg
+
+go 1.22

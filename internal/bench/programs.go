@@ -1,0 +1,161 @@
+// Package bench builds the paper's five benchmarks (§8.2, Table 1) as MLIR
+// programs, generates their workloads, and provides the harness that
+// regenerates Figure 3 (speedups), Table 1 (dialect op counts), and
+// Table 2 (compilation-time breakdown and the NMM scalability study).
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ImgConvSource builds the image-conversion benchmark: for every pixel of
+// an HxWx3 image, gray = (77*R + 150*G + 29*B) / 256. The division by 256
+// is the div-pow2 rewrite target (§7.2). The paper uses 3840x2160.
+func ImgConvSource(h, w int64) string {
+	return fmt.Sprintf(`
+func.func @img2gray(%%img: tensor<%[1]dx%[2]dx3xi64>) -> tensor<%[1]dx%[2]dxi64> {
+  %%c0 = arith.constant 0 : index
+  %%c1 = arith.constant 1 : index
+  %%c2 = arith.constant 2 : index
+  %%h = arith.constant %[1]d : index
+  %%w = arith.constant %[2]d : index
+  %%wr = arith.constant 77 : i64
+  %%wg = arith.constant 150 : i64
+  %%wb = arith.constant 29 : i64
+  %%c256 = arith.constant 256 : i64
+  %%init = tensor.empty() : tensor<%[1]dx%[2]dxi64>
+  %%out = scf.for %%i = %%c0 to %%h step %%c1 iter_args(%%acc = %%init) -> (tensor<%[1]dx%[2]dxi64>) {
+    %%row = scf.for %%j = %%c0 to %%w step %%c1 iter_args(%%acc2 = %%acc) -> (tensor<%[1]dx%[2]dxi64>) {
+      %%r = tensor.extract %%img[%%i, %%j, %%c0] : tensor<%[1]dx%[2]dx3xi64>
+      %%g = tensor.extract %%img[%%i, %%j, %%c1] : tensor<%[1]dx%[2]dx3xi64>
+      %%b = tensor.extract %%img[%%i, %%j, %%c2] : tensor<%[1]dx%[2]dx3xi64>
+      %%tr = arith.muli %%r, %%wr : i64
+      %%tg = arith.muli %%g, %%wg : i64
+      %%tb = arith.muli %%b, %%wb : i64
+      %%s1 = arith.addi %%tr, %%tg : i64
+      %%s2 = arith.addi %%s1, %%tb : i64
+      %%gray = arith.divsi %%s2, %%c256 : i64
+      %%upd = tensor.insert %%gray into %%acc2[%%i, %%j] : tensor<%[1]dx%[2]dxi64>
+      scf.yield %%upd : tensor<%[1]dx%[2]dxi64>
+    }
+    scf.yield %%row : tensor<%[1]dx%[2]dxi64>
+  }
+  func.return %%out : tensor<%[1]dx%[2]dxi64>
+}
+`, h, w)
+}
+
+// VecNormSource builds the vector-normalization benchmark: the inverse of
+// the norm of n 3D vectors, compiled with fast-math. The 1/sqrt pattern is
+// the fast-inverse-sqrt rewrite target (§7.3). The paper uses n=1,000,000.
+func VecNormSource(n int64) string {
+	return fmt.Sprintf(`
+func.func @vec_norm(%%vs: tensor<%[1]dx3xf32>) -> tensor<%[1]dxf32> {
+  %%c0 = arith.constant 0 : index
+  %%c1 = arith.constant 1 : index
+  %%c2 = arith.constant 2 : index
+  %%n = arith.constant %[1]d : index
+  %%one = arith.constant 1.0 : f32
+  %%init = tensor.empty() : tensor<%[1]dxf32>
+  %%out = scf.for %%i = %%c0 to %%n step %%c1 iter_args(%%acc = %%init) -> (tensor<%[1]dxf32>) {
+    %%x = tensor.extract %%vs[%%i, %%c0] : tensor<%[1]dx3xf32>
+    %%y = tensor.extract %%vs[%%i, %%c1] : tensor<%[1]dx3xf32>
+    %%z = tensor.extract %%vs[%%i, %%c2] : tensor<%[1]dx3xf32>
+    %%xx = arith.mulf %%x, %%x fastmath<fast> : f32
+    %%yy = arith.mulf %%y, %%y fastmath<fast> : f32
+    %%zz = arith.mulf %%z, %%z fastmath<fast> : f32
+    %%s1 = arith.addf %%xx, %%yy fastmath<fast> : f32
+    %%s2 = arith.addf %%s1, %%zz fastmath<fast> : f32
+    %%norm = math.sqrt %%s2 fastmath<fast> : f32
+    %%inv = arith.divf %%one, %%norm fastmath<fast> : f32
+    %%upd = tensor.insert %%inv into %%acc[%%i] : tensor<%[1]dxf32>
+    scf.yield %%upd : tensor<%[1]dxf32>
+  }
+  func.return %%out : tensor<%[1]dxf32>
+}
+`, n)
+}
+
+// PolySource builds the polynomial benchmark: n 3rd-degree polynomials,
+// each evaluated at a runtime point x via naive powers — the Horner
+// rewrite target (§7.5). x is a function argument so classical constant
+// folding cannot remove the powf ops. The paper uses n=1,000,000.
+func PolySource(n int64) string {
+	return fmt.Sprintf(`
+func.func @poly_eval(%%coeffs: tensor<%[1]dx4xf64>, %%x: f64) -> tensor<%[1]dxf64> {
+  %%c0 = arith.constant 0 : index
+  %%c1 = arith.constant 1 : index
+  %%c2 = arith.constant 2 : index
+  %%c3 = arith.constant 3 : index
+  %%n = arith.constant %[1]d : index
+  %%two = arith.constant 2.0 : f64
+  %%three = arith.constant 3.0 : f64
+  %%init = tensor.empty() : tensor<%[1]dxf64>
+  %%out = scf.for %%i = %%c0 to %%n step %%c1 iter_args(%%acc = %%init) -> (tensor<%[1]dxf64>) {
+    %%a0 = tensor.extract %%coeffs[%%i, %%c0] : tensor<%[1]dx4xf64>
+    %%a1 = tensor.extract %%coeffs[%%i, %%c1] : tensor<%[1]dx4xf64>
+    %%a2 = tensor.extract %%coeffs[%%i, %%c2] : tensor<%[1]dx4xf64>
+    %%a3 = tensor.extract %%coeffs[%%i, %%c3] : tensor<%[1]dx4xf64>
+    %%x2 = math.powf %%x, %%two : f64
+    %%x3 = math.powf %%x, %%three : f64
+    %%t1 = arith.mulf %%a1, %%x : f64
+    %%t2 = arith.mulf %%a2, %%x2 : f64
+    %%t3 = arith.mulf %%a3, %%x3 : f64
+    %%s1 = arith.addf %%a0, %%t1 : f64
+    %%s2 = arith.addf %%s1, %%t2 : f64
+    %%s3 = arith.addf %%s2, %%t3 : f64
+    %%upd = tensor.insert %%s3 into %%acc[%%i] : tensor<%[1]dxf64>
+    scf.yield %%upd : tensor<%[1]dxf64>
+  }
+  func.return %%out : tensor<%[1]dxf64>
+}
+`, n)
+}
+
+// MatmulChainSource builds an N-matmul chain ((...(M0·M1)·M2)...·MN) in
+// left-associated order. dims has N+2 entries: matrix i is
+// dims[i] x dims[i+1].
+func MatmulChainSource(name string, dims []int64) string {
+	n := len(dims) - 2 // number of matmuls... n+1 matrices
+	var b strings.Builder
+	fmt.Fprintf(&b, "func.func @%s(", name)
+	for i := 0; i <= n; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%%M%d: tensor<%dx%dxf64>", i, dims[i], dims[i+1])
+	}
+	fmt.Fprintf(&b, ") -> tensor<%dx%dxf64> {\n", dims[0], dims[len(dims)-1])
+	cur := "%M0"
+	curRows := dims[0]
+	for i := 1; i <= n; i++ {
+		cols := dims[i+1]
+		fmt.Fprintf(&b, "  %%e%d = tensor.empty() : tensor<%dx%dxf64>\n", i, curRows, cols)
+		fmt.Fprintf(&b, "  %%P%d = linalg.matmul ins(%s, %%M%d : tensor<%dx%dxf64>, tensor<%dx%dxf64>) outs(%%e%d : tensor<%dx%dxf64>) -> tensor<%dx%dxf64>\n",
+			i, cur, i, curRows, dims[i], dims[i], cols, i, curRows, cols, curRows, cols)
+		cur = fmt.Sprintf("%%P%d", i)
+	}
+	fmt.Fprintf(&b, "  func.return %s : tensor<%dx%dxf64>\n}\n", cur, dims[0], dims[len(dims)-1])
+	return b.String()
+}
+
+// TwoMMDims are the paper's 2MM shapes: A=100x10, B=10x150, C=150x8.
+var TwoMMDims = []int64{100, 10, 150, 8}
+
+// ThreeMMDims are the paper's 3MM shapes: A=200x175, B=175x250, C=250x150,
+// D=150x10. (The paper's table prints D as 250x10, which cannot compose
+// with C's 150 columns; 150x10 is the composable reading.)
+var ThreeMMDims = []int64{200, 175, 250, 150, 10}
+
+// NMMDims generates a deterministic pseudo-varied dimension vector for an
+// n-matmul scalability chain (Table 2's 10MM..80MM study), extending the
+// 3MM shapes.
+func NMMDims(n int) []int64 {
+	base := []int64{200, 175, 250, 150, 10, 120, 60, 90, 40, 180}
+	dims := make([]int64, n+2)
+	for i := range dims {
+		dims[i] = base[i%len(base)]
+	}
+	return dims
+}

@@ -1,0 +1,263 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"dialegg/internal/dialects"
+	"dialegg/internal/dialegg"
+	"dialegg/internal/egraph"
+	"dialegg/internal/mlir"
+	"dialegg/internal/passes"
+	"dialegg/internal/rules"
+)
+
+// Table1Row reports a benchmark's per-dialect operation counts (paper
+// Table 1).
+type Table1Row struct {
+	Benchmark string
+	InputSize string
+	// Counts maps dialect name to op count.
+	Counts map[string]int
+}
+
+// table1Dialects is the column order of Table 1.
+var table1Dialects = []string{"scf", "func", "tensor", "arith", "math", "linalg"}
+
+// RunTable1 counts the dialect ops of each benchmark program.
+func RunTable1(benchs []*Benchmark) ([]Table1Row, error) {
+	var out []Table1Row
+	for _, b := range benchs {
+		reg := dialects.NewRegistry()
+		m, err := mlir.ParseModule(b.Source, reg)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: %w", b.Name, err)
+		}
+		counts := make(map[string]int)
+		m.Walk(func(op *mlir.Operation) bool {
+			if d := op.Dialect(); d != "" && d != "builtin" {
+				counts[d]++
+			}
+			return true
+		})
+		out = append(out, Table1Row{Benchmark: b.Name, InputSize: b.InputSize, Counts: counts})
+	}
+	return out, nil
+}
+
+// Table2Row reports a benchmark's compile-time breakdown (paper Table 2).
+type Table2Row struct {
+	Benchmark  string
+	NumRules   int
+	NumOps     int
+	MLIRToEgg  time.Duration
+	EggTotal   time.Duration
+	Saturation time.Duration
+	EggToMLIR  time.Duration
+	Canon      time.Duration
+	GreedyPass time.Duration // zero when not applicable (printed N/A)
+	HasGreedy  bool
+	Saturated  bool
+	// Stop is the saturation stop reason (fixed point or which bound hit).
+	Stop  egraph.StopReason
+	Nodes int
+}
+
+// countModuleOps counts operations excluding the module container.
+func countModuleOps(m *mlir.Module) int {
+	n := 0
+	m.Walk(func(op *mlir.Operation) bool {
+		if op.Name != "builtin.module" {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// table2ForModule runs the timing breakdown for one program.
+func table2ForModule(name string, src string, ruleSrcs []string, useGreedy bool, cfg egraph.RunConfig) (Table2Row, error) {
+	row := Table2Row{Benchmark: name, HasGreedy: useGreedy}
+
+	reg := dialects.NewRegistry()
+	m, err := mlir.ParseModule(src, reg)
+	if err != nil {
+		return row, fmt.Errorf("bench %s: %w", name, err)
+	}
+	row.NumOps = countModuleOps(m)
+
+	// DialEgg phases.
+	opt := dialegg.NewOptimizer(dialegg.Options{RuleSources: ruleSrcs, RunConfig: cfg})
+	dm := m.Clone()
+	rep, err := opt.OptimizeModule(dm)
+	if err != nil {
+		return row, fmt.Errorf("bench %s: dialegg: %w", name, err)
+	}
+	row.NumRules = rep.NumRules
+	row.MLIRToEgg = rep.MLIRToEgg
+	row.EggTotal = rep.EggTotal
+	row.Saturation = rep.Saturation
+	row.EggToMLIR = rep.EggToMLIR
+	row.Saturated = rep.Run.Saturated()
+	row.Stop = rep.Run.Stop
+	row.Nodes = rep.Run.Nodes
+
+	// Canonicalization time.
+	cm := m.Clone()
+	pm := passes.NewPassManager(reg).Add(passes.NewCanonicalize())
+	pm.SkipVerify = true
+	timings, err := pm.Run(cm)
+	if err != nil {
+		return row, err
+	}
+	row.Canon = timings[0].Elapsed
+
+	// Hand-written greedy pass time.
+	if useGreedy {
+		gm := m.Clone()
+		gpm := passes.NewPassManager(reg).Add(passes.NewMatmulReassociate())
+		gpm.SkipVerify = true
+		gt, err := gpm.Run(gm)
+		if err != nil {
+			return row, err
+		}
+		row.GreedyPass = gt[0].Elapsed
+	}
+	return row, nil
+}
+
+// RunTable2 produces the compile-time breakdown for the five benchmarks
+// plus the NMM scalability chains (10, 20, 40, 80 matmuls). chainSizes may
+// be nil for the default set.
+func RunTable2(benchs []*Benchmark, chainSizes []int) ([]Table2Row, error) {
+	var out []Table2Row
+	for _, b := range benchs {
+		row, err := table2ForModule(b.Name, b.Source, b.Rules, b.UseGreedyPass, b.RunConfig)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, row)
+	}
+	if chainSizes == nil {
+		chainSizes = []int{10, 20, 40, 80}
+	}
+	for _, n := range chainSizes {
+		dims := NMMDims(n)
+		src := MatmulChainSource(fmt.Sprintf("mm%d", n), dims)
+		// Long chains blow up combinatorially; bound the run the way the
+		// artifact bounds egglog, and report how far saturation got. An
+		// 80-matmul chain holds ~n^3/3 distinct bracketing e-nodes, so the
+		// node limit must sit above that.
+		cfg := egraph.RunConfig{
+			NodeLimit:  2_000_000,
+			MatchLimit: 2_000_000,
+			TimeLimit:  240 * time.Second,
+			IterLimit:  120,
+		}
+		row, err := table2ForModule(fmt.Sprintf("%dMM", n), src, rules.MatmulChain(), true, cfg)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// --- formatting ---
+
+// FormatFig3 renders the Figure 3 data as an aligned text table plus an
+// ASCII bar chart of speedups.
+func FormatFig3(rows []Fig3Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 3: speedup over unoptimized baseline (interpreter cycle model)\n\n")
+	fmt.Fprintf(&b, "%-10s %-18s %14s %12s %10s\n", "Benchmark", "Variant", "Cycles", "Wall", "Speedup")
+	for _, row := range rows {
+		for _, r := range row.Results {
+			fmt.Fprintf(&b, "%-10s %-18s %14d %12s %9.2fx\n",
+				row.Benchmark, r.Variant, r.Cycles, r.Wall.Round(time.Microsecond), r.Speedup)
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("Speedup bars (each █ = 0.25x):\n")
+	for _, row := range rows {
+		for _, r := range row.Results {
+			if r.Variant == VariantBaseline {
+				continue
+			}
+			bars := int(r.Speedup * 4)
+			if bars > 120 {
+				bars = 120
+			}
+			fmt.Fprintf(&b, "%-10s %-18s %7.2fx %s\n", row.Benchmark, r.Variant, r.Speedup, strings.Repeat("█", bars))
+		}
+	}
+	return b.String()
+}
+
+// FormatTable1 renders Table 1.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	b.WriteString("Table 1: benchmarks and their per-dialect operation counts\n\n")
+	fmt.Fprintf(&b, "%-10s %-28s", "Benchmark", "Input size")
+	for _, d := range table1Dialects {
+		fmt.Fprintf(&b, " %7s", d)
+	}
+	b.WriteString("\n")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-10s %-28s", row.Benchmark, row.InputSize)
+		for _, d := range table1Dialects {
+			fmt.Fprintf(&b, " %7d", row.Counts[d])
+		}
+		// Any dialect outside the canonical columns still gets printed.
+		var extra []string
+		for d := range row.Counts {
+			known := false
+			for _, k := range table1Dialects {
+				if d == k {
+					known = true
+				}
+			}
+			if !known {
+				extra = append(extra, fmt.Sprintf("%s=%d", d, row.Counts[d]))
+			}
+		}
+		sort.Strings(extra)
+		if len(extra) > 0 {
+			fmt.Fprintf(&b, "  (%s)", strings.Join(extra, " "))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// FormatTable2 renders Table 2.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	b.WriteString("Table 2: compilation and e-graph saturation times\n\n")
+	fmt.Fprintf(&b, "%-10s %7s %6s %12s %12s %12s %12s %12s %14s  %-16s %9s\n",
+		"Benchmark", "#Rules", "#Ops", "MLIR->Egg", "Egglog", "Saturation", "Egg->MLIR", "Canon.", "GreedyPass", "Stop", "Nodes")
+	for _, row := range rows {
+		greedy := "N/A"
+		if row.HasGreedy {
+			greedy = fmtDur(row.GreedyPass)
+		}
+		fmt.Fprintf(&b, "%-10s %7d %6d %12s %12s %12s %12s %12s %14s  %-16s %9d\n",
+			row.Benchmark, row.NumRules, row.NumOps,
+			fmtDur(row.MLIRToEgg), fmtDur(row.EggTotal), fmtDur(row.Saturation),
+			fmtDur(row.EggToMLIR), fmtDur(row.Canon), greedy, row.Stop, row.Nodes)
+	}
+	return b.String()
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"math/rand"
+
+	"dialegg/internal/interp"
+)
+
+// Workload seeds are fixed so every optimization variant of a benchmark
+// sees identical inputs and outputs can be compared exactly.
+const workloadSeed = 20250301 // CGO'25 opening day
+
+// ImageInput builds an HxWx3 integer image with channel values in
+// [0, 255].
+func ImageInput(h, w int64) *interp.Tensor {
+	rng := rand.New(rand.NewSource(workloadSeed))
+	t := interp.NewIntTensor(h, w, 3)
+	for i := range t.I {
+		t.I[i] = int64(rng.Intn(256))
+	}
+	return t
+}
+
+// VectorInput builds an Nx3 float tensor of vectors with coordinates in
+// [0.1, 10).
+func VectorInput(n int64) *interp.Tensor {
+	rng := rand.New(rand.NewSource(workloadSeed + 1))
+	t := interp.NewFloatTensor(n, 3)
+	for i := range t.F {
+		t.F[i] = 0.1 + rng.Float64()*9.9
+	}
+	return t
+}
+
+// CoeffInput builds an Nx4 float tensor of polynomial coefficients in
+// [-1, 1).
+func CoeffInput(n int64) *interp.Tensor {
+	rng := rand.New(rand.NewSource(workloadSeed + 2))
+	t := interp.NewFloatTensor(n, 4)
+	for i := range t.F {
+		t.F[i] = rng.Float64()*2 - 1
+	}
+	return t
+}
+
+// MatrixInputs builds the chain matrices for the given dimension vector,
+// filled with values in [0, 1).
+func MatrixInputs(dims []int64) []interp.Value {
+	rng := rand.New(rand.NewSource(workloadSeed + 3))
+	out := make([]interp.Value, len(dims)-1)
+	for i := 0; i < len(dims)-1; i++ {
+		t := interp.NewFloatTensor(dims[i], dims[i+1])
+		for j := range t.F {
+			t.F[j] = rng.Float64()
+		}
+		out[i] = interp.TensorValue(t)
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+// Package dialects defines the MLIR dialects used by the paper's
+// benchmarks — func, arith, math, scf, tensor, and linalg — with their
+// pretty-syntax parsers, printers, verifiers, and canonicalization folds.
+package dialects
+
+import (
+	"dialegg/internal/mlir"
+)
+
+// NewRegistry returns a registry with every dialect in this package
+// registered.
+func NewRegistry() *mlir.Registry {
+	r := mlir.NewRegistry()
+	RegisterBuiltin(r)
+	RegisterFunc(r)
+	RegisterArith(r)
+	RegisterMath(r)
+	RegisterSCF(r)
+	RegisterTensor(r)
+	RegisterLinalg(r)
+	return r
+}
+
+// RegisterBuiltin registers the builtin dialect (the module container).
+func RegisterBuiltin(r *mlir.Registry) {
+	r.Register(&mlir.OpDef{
+		Name: "builtin.module",
+		Print: func(ps *mlir.PrintState, op *mlir.Operation) {
+			ps.Write(" ")
+			ps.PrintRegion(op.Regions[0])
+		},
+	})
+}
+
+// --- shared parse/print helpers ---
+
+// parseBinaryOp reads `%a, %b [fastmath<f>] : type` and builds an op whose
+// operands and single result all have that type.
+func parseBinaryOp(name string, allowFastMath bool) func(p *mlir.Parser, st *mlir.OpParseState) (*mlir.Operation, error) {
+	return func(p *mlir.Parser, st *mlir.OpParseState) (*mlir.Operation, error) {
+		a, err := p.ParseOperand()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.Expect(","); err != nil {
+			return nil, err
+		}
+		b, err := p.ParseOperand()
+		if err != nil {
+			return nil, err
+		}
+		var fm mlir.Attribute
+		if allowFastMath {
+			fm, err = p.ParseOptionalFastMath()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.Expect(":"); err != nil {
+			return nil, err
+		}
+		t, err := p.ParseType()
+		if err != nil {
+			return nil, err
+		}
+		op := mlir.NewOperation(name, []*mlir.Value{a, b}, []mlir.Type{t})
+		if fm != nil {
+			op.SetAttr("fastmath", fm)
+		}
+		return op, nil
+	}
+}
+
+func printBinaryOp(ps *mlir.PrintState, op *mlir.Operation) {
+	ps.Write(" ")
+	ps.PrintOperands(op.Operands)
+	ps.PrintOptionalFastMath(op)
+	ps.Write(" : " + op.Results[0].Typ.String())
+}
+
+// parseUnaryOp reads `%a [fastmath<f>] : type`.
+func parseUnaryOp(name string, allowFastMath bool) func(p *mlir.Parser, st *mlir.OpParseState) (*mlir.Operation, error) {
+	return func(p *mlir.Parser, st *mlir.OpParseState) (*mlir.Operation, error) {
+		a, err := p.ParseOperand()
+		if err != nil {
+			return nil, err
+		}
+		var fm mlir.Attribute
+		if allowFastMath {
+			fm, err = p.ParseOptionalFastMath()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.Expect(":"); err != nil {
+			return nil, err
+		}
+		t, err := p.ParseType()
+		if err != nil {
+			return nil, err
+		}
+		op := mlir.NewOperation(name, []*mlir.Value{a}, []mlir.Type{t})
+		if fm != nil {
+			op.SetAttr("fastmath", fm)
+		}
+		return op, nil
+	}
+}
+
+// parseCastOp reads `%a : fromType to toType`.
+func parseCastOp(name string) func(p *mlir.Parser, st *mlir.OpParseState) (*mlir.Operation, error) {
+	return func(p *mlir.Parser, st *mlir.OpParseState) (*mlir.Operation, error) {
+		a, err := p.ParseOperand()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.Expect(":"); err != nil {
+			return nil, err
+		}
+		from, err := p.ParseType()
+		if err != nil {
+			return nil, err
+		}
+		if !mlir.TypeEqual(a.Typ, from) {
+			return nil, p.Errf("%s: operand has type %s, written %s", name, a.Typ, from)
+		}
+		if err := p.ParseKeyword("to"); err != nil {
+			return nil, err
+		}
+		to, err := p.ParseType()
+		if err != nil {
+			return nil, err
+		}
+		return mlir.NewOperation(name, []*mlir.Value{a}, []mlir.Type{to}), nil
+	}
+}
+
+func printCastOp(ps *mlir.PrintState, op *mlir.Operation) {
+	ps.Write(" ")
+	ps.PrintOperands(op.Operands)
+	ps.Write(" : " + op.Operands[0].Typ.String() + " to " + op.Results[0].Typ.String())
+}

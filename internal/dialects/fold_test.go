@@ -1,0 +1,202 @@
+package dialects
+
+import (
+	"testing"
+
+	"dialegg/internal/mlir"
+)
+
+// foldHarness builds a binary op over two constants (or one constant, one
+// argument) and runs its registered fold.
+type foldHarness struct {
+	reg *mlir.Registry
+	arg *mlir.Value
+}
+
+func newFoldHarness(t *testing.T) *foldHarness {
+	t.Helper()
+	f := mlir.NewOperation("func.func", nil, nil)
+	blk := f.AddRegion().AddBlock()
+	arg := blk.AddArg(mlir.I64, "x")
+	return &foldHarness{reg: NewRegistry(), arg: arg}
+}
+
+func (h *foldHarness) constOp(v int64, typ mlir.Type) *mlir.Value {
+	c := mlir.NewOperation("arith.constant", nil, []mlir.Type{typ})
+	c.SetAttr("value", mlir.IntegerAttr{Value: v, Type: typ})
+	return c.Results[0]
+}
+
+func (h *foldHarness) constF(v float64, typ mlir.Type) *mlir.Value {
+	c := mlir.NewOperation("arith.constant", nil, []mlir.Type{typ})
+	c.SetAttr("value", mlir.FloatAttr{Value: v, Type: typ})
+	return c.Results[0]
+}
+
+func (h *foldHarness) fold(t *testing.T, name string, operands []*mlir.Value, resType mlir.Type) (mlir.FoldResult, bool) {
+	t.Helper()
+	def, ok := h.reg.Lookup(name)
+	if !ok || def.Fold == nil {
+		t.Fatalf("%s has no fold", name)
+	}
+	op := mlir.NewOperation(name, operands, []mlir.Type{resType})
+	return def.Fold(op)
+}
+
+func TestIntFoldTable(t *testing.T) {
+	h := newFoldHarness(t)
+	cases := []struct {
+		op   string
+		a, b int64
+		want int64
+	}{
+		{"arith.addi", 2, 3, 5},
+		{"arith.subi", 2, 3, -1},
+		{"arith.muli", 6, 7, 42},
+		{"arith.divsi", 17, 5, 3},
+		{"arith.divsi", -21, 2, -10},
+		{"arith.remsi", 17, 5, 2},
+		{"arith.shli", 3, 4, 48},
+		{"arith.shrsi", -64, 3, -8},
+		{"arith.andi", 0b1100, 0b1010, 0b1000},
+		{"arith.ori", 0b1100, 0b1010, 0b1110},
+		{"arith.xori", 0b1100, 0b1010, 0b0110},
+		{"arith.maxsi", -2, 5, 5},
+		{"arith.minsi", -2, 5, -2},
+	}
+	for _, c := range cases {
+		res, ok := h.fold(t, c.op, []*mlir.Value{h.constOp(c.a, mlir.I64), h.constOp(c.b, mlir.I64)}, mlir.I64)
+		if !ok {
+			t.Errorf("%s(%d,%d): no fold", c.op, c.a, c.b)
+			continue
+		}
+		got, isConst := res.Attr.(mlir.IntegerAttr)
+		if !isConst || got.Value != c.want {
+			t.Errorf("%s(%d,%d) = %v, want %d", c.op, c.a, c.b, res.Attr, c.want)
+		}
+	}
+}
+
+func TestIntFoldRefusals(t *testing.T) {
+	h := newFoldHarness(t)
+	// Division by zero must not fold.
+	if _, ok := h.fold(t, "arith.divsi", []*mlir.Value{h.constOp(1, mlir.I64), h.constOp(0, mlir.I64)}, mlir.I64); ok {
+		t.Error("divsi by zero folded")
+	}
+	// Shift by 64 must not fold.
+	if _, ok := h.fold(t, "arith.shli", []*mlir.Value{h.constOp(1, mlir.I64), h.constOp(64, mlir.I64)}, mlir.I64); ok {
+		t.Error("shli by 64 folded")
+	}
+	// Two non-constants must not fold.
+	if _, ok := h.fold(t, "arith.addi", []*mlir.Value{h.arg, h.arg}, mlir.I64); ok {
+		t.Error("addi of arguments folded")
+	}
+}
+
+func TestIdentityFoldTable(t *testing.T) {
+	h := newFoldHarness(t)
+	cases := []struct {
+		op      string
+		constV  int64
+		onRight bool
+	}{
+		{"arith.addi", 0, true},
+		{"arith.addi", 0, false},
+		{"arith.muli", 1, true},
+		{"arith.muli", 1, false},
+		{"arith.subi", 0, true},
+		{"arith.shli", 0, true},
+		{"arith.shrsi", 0, true},
+		{"arith.divsi", 1, true},
+		{"arith.ori", 0, true},
+		{"arith.xori", 0, true},
+	}
+	for _, c := range cases {
+		operands := []*mlir.Value{h.arg, h.constOp(c.constV, mlir.I64)}
+		if !c.onRight {
+			operands = []*mlir.Value{h.constOp(c.constV, mlir.I64), h.arg}
+		}
+		res, ok := h.fold(t, c.op, operands, mlir.I64)
+		if !ok {
+			t.Errorf("%s identity (const %d, right=%t) did not fold", c.op, c.constV, c.onRight)
+			continue
+		}
+		if res.Value != h.arg {
+			t.Errorf("%s identity returned %v, want the argument", c.op, res)
+		}
+	}
+}
+
+func TestFloatFolds(t *testing.T) {
+	h := newFoldHarness(t)
+	res, ok := h.fold(t, "arith.addf", []*mlir.Value{h.constF(1.5, mlir.F64), h.constF(2.25, mlir.F64)}, mlir.F64)
+	if !ok || res.Attr.(mlir.FloatAttr).Value != 3.75 {
+		t.Errorf("addf fold = %v", res.Attr)
+	}
+	res, ok = h.fold(t, "arith.mulf", []*mlir.Value{h.argF(t), h.constF(1, mlir.F64)}, mlir.F64)
+	if !ok || res.Value == nil {
+		t.Errorf("mulf by 1.0 should return the value, got %v", res)
+	}
+	// negf of negf cancels.
+	neg := mlir.NewOperation("arith.negf", []*mlir.Value{h.argF(t)}, []mlir.Type{mlir.F64})
+	res, ok = h.fold(t, "arith.negf", []*mlir.Value{neg.Results[0]}, mlir.F64)
+	if !ok || res.Value != neg.Operands[0] {
+		t.Errorf("negf(negf(x)) should fold to x, got %v", res)
+	}
+}
+
+func (h *foldHarness) argF(t *testing.T) *mlir.Value {
+	t.Helper()
+	f := mlir.NewOperation("func.func", nil, nil)
+	return f.AddRegion().AddBlock().AddArg(mlir.F64, "y")
+}
+
+func TestMathFolds(t *testing.T) {
+	h := newFoldHarness(t)
+	res, ok := h.fold(t, "math.sqrt", []*mlir.Value{h.constF(16, mlir.F64)}, mlir.F64)
+	if !ok || res.Attr.(mlir.FloatAttr).Value != 4 {
+		t.Errorf("sqrt fold = %v", res.Attr)
+	}
+	// sqrt of negative must not fold.
+	if _, ok := h.fold(t, "math.sqrt", []*mlir.Value{h.constF(-1, mlir.F64)}, mlir.F64); ok {
+		t.Error("sqrt(-1) folded")
+	}
+	res, ok = h.fold(t, "math.powf", []*mlir.Value{h.constF(2, mlir.F64), h.constF(10, mlir.F64)}, mlir.F64)
+	if !ok || res.Attr.(mlir.FloatAttr).Value != 1024 {
+		t.Errorf("powf fold = %v", res.Attr)
+	}
+	// x^1 folds to x.
+	a := h.argF(t)
+	res, ok = h.fold(t, "math.powf", []*mlir.Value{a, h.constF(1, mlir.F64)}, mlir.F64)
+	if !ok || res.Value != a {
+		t.Errorf("powf(x,1) = %v, want x", res)
+	}
+}
+
+func TestCastFolds(t *testing.T) {
+	h := newFoldHarness(t)
+	res, ok := h.fold(t, "arith.sitofp", []*mlir.Value{h.constOp(5, mlir.I64)}, mlir.F64)
+	if !ok || res.Attr.(mlir.FloatAttr).Value != 5 {
+		t.Errorf("sitofp fold = %v", res.Attr)
+	}
+	res, ok = h.fold(t, "arith.index_cast", []*mlir.Value{h.constOp(9, mlir.Index)}, mlir.I64)
+	if !ok || res.Attr.(mlir.IntegerAttr).Value != 9 {
+		t.Errorf("index_cast fold = %v", res.Attr)
+	}
+}
+
+func TestTensorDimFold(t *testing.T) {
+	h := newFoldHarness(t)
+	tt := mlir.TensorOf(mlir.F64, 7, 9)
+	src := mlir.NewOperation("tensor.empty", nil, []mlir.Type{tt})
+	res, ok := h.fold(t, "tensor.dim", []*mlir.Value{src.Results[0], h.constOp(1, mlir.Index)}, mlir.Index)
+	if !ok || res.Attr.(mlir.IntegerAttr).Value != 9 {
+		t.Errorf("dim fold = %v", res.Attr)
+	}
+	// Dynamic dims must not fold.
+	dt := mlir.RankedTensorType{Shape: []int64{mlir.DynamicDim, 9}, Elem: mlir.F64}
+	dsrc := mlir.NewOperation("tensor.empty", nil, []mlir.Type{dt})
+	if _, ok := h.fold(t, "tensor.dim", []*mlir.Value{dsrc.Results[0], h.constOp(0, mlir.Index)}, mlir.Index); ok {
+		t.Error("dynamic dim folded")
+	}
+}

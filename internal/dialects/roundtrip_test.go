@@ -1,0 +1,343 @@
+package dialects
+
+import (
+	"strings"
+	"testing"
+
+	"dialegg/internal/mlir"
+)
+
+func parseMod(t *testing.T, src string) *mlir.Module {
+	t.Helper()
+	m, err := mlir.ParseModule(src, NewRegistry())
+	if err != nil {
+		t.Fatalf("parse failed: %v\nsource:\n%s", err, src)
+	}
+	return m
+}
+
+// roundTrip parses, prints, re-parses, re-prints and requires the two
+// printed forms to be identical.
+func roundTrip(t *testing.T, src string) string {
+	t.Helper()
+	reg := NewRegistry()
+	m1, err := mlir.ParseModule(src, reg)
+	if err != nil {
+		t.Fatalf("first parse: %v\nsource:\n%s", err, src)
+	}
+	if err := reg.Verify(m1.Op); err != nil {
+		t.Fatalf("verify: %v\nsource:\n%s", err, src)
+	}
+	p1 := mlir.PrintModule(m1, reg)
+	m2, err := mlir.ParseModule(p1, reg)
+	if err != nil {
+		t.Fatalf("re-parse: %v\nprinted:\n%s", err, p1)
+	}
+	p2 := mlir.PrintModule(m2, reg)
+	if p1 != p2 {
+		t.Fatalf("print not stable:\nfirst:\n%s\nsecond:\n%s", p1, p2)
+	}
+	return p1
+}
+
+// TestListing1 parses the paper's Listing 1: (a*2)/2 in MLIR.
+func TestListing1(t *testing.T) {
+	src := `
+func.func @classic(%a: i64) -> i64 {
+  %c2 = arith.constant 2 : i64
+  %a2 = arith.muli %a, %c2 : i64
+  %a_2 = arith.divsi %a2, %c2 : i64
+  func.return %a_2 : i64
+}`
+	out := roundTrip(t, src)
+	for _, want := range []string{"arith.muli", "arith.divsi", "arith.constant 2 : i64", "func.return"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed module missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSqrtAbsListing parses the §5.4 example mixing four dialects.
+func TestSqrtAbsListing(t *testing.T) {
+	src := `
+func.func @sqrt_abs(%x: f32) -> f32 {
+  %zero = arith.constant 0.0 : f32
+  %cond = arith.cmpf oge, %x, %zero : f32
+  %sqrt = scf.if %cond -> (f32) {
+    %s = math.sqrt %x fastmath<fast> : f32
+    scf.yield %s : f32
+  } else {
+    %neg = arith.negf %x : f32
+    %s = math.sqrt %neg : f32
+    scf.yield %s : f32
+  }
+  func.return %sqrt : f32
+}`
+	out := roundTrip(t, src)
+	for _, want := range []string{"scf.if", "else", "fastmath<fast>", "arith.cmpf oge", "arith.negf"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed module missing %q:\n%s", want, out)
+		}
+	}
+	m := parseMod(t, src)
+	f, ok := m.FindFunc("sqrt_abs")
+	if !ok {
+		t.Fatal("sqrt_abs not found")
+	}
+	var ifOp *mlir.Operation
+	f.Walk(func(op *mlir.Operation) bool {
+		if op.Name == "scf.if" {
+			ifOp = op
+		}
+		return true
+	})
+	if ifOp == nil || len(ifOp.Regions) != 2 {
+		t.Fatal("scf.if with two regions expected")
+	}
+	if len(ifOp.Regions[0].First().Ops) != 2 {
+		t.Errorf("then-block op count = %d, want 2", len(ifOp.Regions[0].First().Ops))
+	}
+	if len(ifOp.Regions[1].First().Ops) != 3 {
+		t.Errorf("else-block op count = %d, want 3", len(ifOp.Regions[1].First().Ops))
+	}
+}
+
+func TestSCFForIterArgs(t *testing.T) {
+	src := `
+func.func @sum(%n: index) -> f64 {
+  %c0 = arith.constant 0 : index
+  %c1 = arith.constant 1 : index
+  %zero = arith.constant 0.0 : f64
+  %r = scf.for %i = %c0 to %n step %c1 iter_args(%acc = %zero) -> (f64) {
+    %one = arith.constant 1.0 : f64
+    %next = arith.addf %acc, %one : f64
+    scf.yield %next : f64
+  }
+  func.return %r : f64
+}`
+	out := roundTrip(t, src)
+	if !strings.Contains(out, "iter_args(") {
+		t.Errorf("missing iter_args in:\n%s", out)
+	}
+}
+
+func TestMatmulListing(t *testing.T) {
+	src := `
+func.func @two_mm(%A: tensor<100x10xf64>, %B: tensor<10x150xf64>, %C: tensor<150x8xf64>) -> tensor<100x8xf64> {
+  %e1 = tensor.empty() : tensor<100x150xf64>
+  %AB = linalg.matmul ins(%A, %B : tensor<100x10xf64>, tensor<10x150xf64>) outs(%e1 : tensor<100x150xf64>) -> tensor<100x150xf64>
+  %e2 = tensor.empty() : tensor<100x8xf64>
+  %ABC = linalg.matmul ins(%AB, %C : tensor<100x150xf64>, tensor<150x8xf64>) outs(%e2 : tensor<100x8xf64>) -> tensor<100x8xf64>
+  func.return %ABC : tensor<100x8xf64>
+}`
+	out := roundTrip(t, src)
+	if strings.Count(out, "linalg.matmul") != 2 {
+		t.Errorf("expected 2 matmuls:\n%s", out)
+	}
+}
+
+func TestTensorOps(t *testing.T) {
+	roundTrip(t, `
+func.func @t(%t: tensor<4x5xf64>, %i: index, %j: index, %v: f64) -> f64 {
+  %c0 = arith.constant 0 : index
+  %d = tensor.dim %t, %c0 : tensor<4x5xf64>
+  %u = tensor.insert %v into %t[%i, %j] : tensor<4x5xf64>
+  %e = tensor.extract %u[%i, %j] : tensor<4x5xf64>
+  %s = tensor.splat %v : tensor<4x5xf64>
+  %x = tensor.extract %s[%i, %j] : tensor<4x5xf64>
+  %r = arith.addf %e, %x : f64
+  func.return %r : f64
+}`)
+}
+
+func TestFuncCall(t *testing.T) {
+	out := roundTrip(t, `
+func.func @callee(%x: f32) -> f32 {
+  func.return %x : f32
+}
+func.func @caller(%x: f32) -> f32 {
+  %r = func.call @callee(%x) : (f32) -> f32
+  func.return %r : f32
+}`)
+	if !strings.Contains(out, "func.call @callee(") {
+		t.Errorf("bad call print:\n%s", out)
+	}
+}
+
+// TestGenericOpaqueOp checks MLIR generic form for ops this IR does not
+// register — DialEgg's opaque-operation path depends on this surviving a
+// round trip.
+func TestGenericOpaqueOp(t *testing.T) {
+	src := `
+func.func @f(%x: f32) -> f32 {
+  %r = "mydialect.frobnicate"(%x) {gain = 3 : i64} : (f32) -> f32
+  func.return %r : f32
+}`
+	out := roundTrip(t, src)
+	if !strings.Contains(out, `"mydialect.frobnicate"(`) {
+		t.Errorf("opaque op lost:\n%s", out)
+	}
+	if !strings.Contains(out, "gain = 3 : i64") {
+		t.Errorf("opaque op attribute lost:\n%s", out)
+	}
+}
+
+func TestGenericOpWithRegion(t *testing.T) {
+	src := `
+func.func @f(%x: f32) -> f32 {
+  %r = "mydialect.wrap"(%x) ({
+    "mydialect.inner"() : () -> ()
+  }) : (f32) -> f32
+  func.return %r : f32
+}`
+	out := roundTrip(t, src)
+	if !strings.Contains(out, `"mydialect.inner"`) {
+		t.Errorf("nested opaque op lost:\n%s", out)
+	}
+}
+
+func TestCmpIAndSelect(t *testing.T) {
+	roundTrip(t, `
+func.func @m(%a: i64, %b: i64) -> i64 {
+  %c = arith.cmpi slt, %a, %b : i64
+  %r = arith.select %c, %a, %b : i64
+  func.return %r : i64
+}`)
+}
+
+func TestCasts(t *testing.T) {
+	roundTrip(t, `
+func.func @c(%a: i64, %i: index) -> f64 {
+  %f = arith.sitofp %a : i64 to f64
+  %j = arith.index_cast %i : index to i64
+  %g = arith.sitofp %j : i64 to f64
+  %r = arith.addf %f, %g : f64
+  func.return %r : f64
+}`)
+}
+
+func TestMathOps(t *testing.T) {
+	roundTrip(t, `
+func.func @m(%x: f64) -> f64 {
+  %a = math.sqrt %x : f64
+  %b = math.powf %a, %x : f64
+  %c = math.fma %a, %b, %x : f64
+  %d = math.absf %c fastmath<fast> : f64
+  func.return %d : f64
+}`)
+}
+
+func TestDenseConstant(t *testing.T) {
+	out := roundTrip(t, `
+func.func @d() -> tensor<4xf64> {
+  %t = arith.constant dense<0.5> : tensor<4xf64>
+  func.return %t : tensor<4xf64>
+}`)
+	if !strings.Contains(out, "dense<0.5> : tensor<4xf64>") {
+		t.Errorf("dense attr lost:\n%s", out)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`func.func @f(%x: i64) -> i64 { func.return %y : i64 }`,                             // undefined value
+		`func.func @f(%x: i64) -> i64 { %x = arith.constant 1 : i64 func.return %x : i64 }`, // redefinition
+		`func.func @f() { %r = arith.addi %a, %b }`,                                         // undefined + missing type
+		`func.func @f() { unknown.op %x }`,                                                  // unregistered pretty op
+		`func.func @f() { func.return`,                                                      // unclosed
+	}
+	reg := NewRegistry()
+	for _, src := range bad {
+		if _, err := mlir.ParseModule(src, reg); err == nil {
+			t.Errorf("expected parse error for:\n%s", src)
+		}
+	}
+}
+
+func TestVerifyCatchesBadMatmul(t *testing.T) {
+	src := `
+func.func @bad(%A: tensor<3x4xf64>, %B: tensor<5x6xf64>) -> tensor<3x6xf64> {
+  %e = tensor.empty() : tensor<3x6xf64>
+  %r = linalg.matmul ins(%A, %B : tensor<3x4xf64>, tensor<5x6xf64>) outs(%e : tensor<3x6xf64>) -> tensor<3x6xf64>
+  func.return %r : tensor<3x6xf64>
+}`
+	reg := NewRegistry()
+	m, err := mlir.ParseModule(src, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Verify(m.Op); err == nil {
+		t.Error("verifier should reject 3x4 times 5x6")
+	}
+}
+
+func TestVerifyTerminatorPlacement(t *testing.T) {
+	// Build programmatically: a yield in the middle of a block.
+	reg := NewRegistry()
+	m := mlir.NewModule()
+	f := mlir.NewOperation("func.func", nil, nil)
+	f.SetAttr("sym_name", mlir.StringAttr{Value: "f"})
+	f.SetAttr("function_type", mlir.TypeAttr{Type: mlir.FunctionType{}})
+	b := f.AddRegion().AddBlock()
+	b.Append(mlir.NewOperation("func.return", nil, nil))
+	b.Append(mlir.NewOperation("func.return", nil, nil))
+	m.Body().Append(f)
+	if err := reg.Verify(m.Op); err == nil {
+		t.Error("verifier should reject terminator in mid-block")
+	}
+}
+
+func TestModuleExplicitForm(t *testing.T) {
+	out := roundTrip(t, `
+module {
+  func.func @f() {
+    func.return
+  }
+}`)
+	if !strings.HasPrefix(out, "module {") {
+		t.Errorf("module form:\n%s", out)
+	}
+}
+
+func TestWalkAndClone(t *testing.T) {
+	m := parseMod(t, `
+func.func @f(%x: f32) -> f32 {
+  %c = arith.constant 1.0 : f32
+  %r = arith.addf %x, %c : f32
+  func.return %r : f32
+}`)
+	count := 0
+	m.Walk(func(op *mlir.Operation) bool { count++; return true })
+	if count != 5 { // module, func, constant, addf, return
+		t.Errorf("walked %d ops, want 5", count)
+	}
+	clone := m.Clone()
+	reg := NewRegistry()
+	if mlir.PrintModule(clone, reg) != mlir.PrintModule(m, reg) {
+		t.Error("clone prints differently")
+	}
+	// Mutating the clone must not affect the original.
+	clone.Funcs()[0].SetAttr("sym_name", mlir.StringAttr{Value: "g"})
+	if _, ok := m.FindFunc("f"); !ok {
+		t.Error("original module mutated by clone edit")
+	}
+}
+
+func TestTypeParsing(t *testing.T) {
+	cases := []string{"i1", "i64", "f32", "index", "tensor<3x4xf64>", "tensor<?x3xi64>", "tensor<*xf32>", "tuple<i64, f32>", "complex<f64>", "none"}
+	reg := NewRegistry()
+	for _, ts := range cases {
+		src := `func.func @f(%x: ` + ts + `) {
+  func.return
+}`
+		m, err := mlir.ParseModule(src, reg)
+		if err != nil {
+			t.Errorf("type %s: %v", ts, err)
+			continue
+		}
+		got := m.Funcs()[0].Regions[0].First().Args[0].Typ.String()
+		if got != ts {
+			t.Errorf("type %s round-tripped to %s", ts, got)
+		}
+	}
+}

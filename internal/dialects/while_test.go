@@ -1,0 +1,73 @@
+package dialects
+
+import (
+	"strings"
+	"testing"
+
+	"dialegg/internal/mlir"
+)
+
+const whileProgram = `
+func.func @countdown(%n: i64) -> i64 {
+  %zero = arith.constant 0 : i64
+  %r = scf.while (%x = %n) : (i64) -> i64 {
+    %cond = arith.cmpi sgt, %x, %zero : i64
+    scf.condition(%cond) %x : i64
+  } do {
+  ^bb0(%y: i64):
+    %one = arith.constant 1 : i64
+    %next = arith.subi %y, %one : i64
+    scf.yield %next : i64
+  }
+  func.return %r : i64
+}`
+
+func TestWhileRoundTrip(t *testing.T) {
+	out := roundTrip(t, whileProgram)
+	for _, want := range []string{"scf.while (", "scf.condition(", "do {", "^bb0("} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed while missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWhileVerifier(t *testing.T) {
+	reg := NewRegistry()
+	// A while whose before region does not end with scf.condition.
+	bad := `
+func.func @bad(%n: i64) -> i64 {
+  %r = scf.while (%x = %n) : (i64) -> i64 {
+    scf.yield %x : i64
+  } do {
+  ^bb0(%y: i64):
+    scf.yield %y : i64
+  }
+  func.return %r : i64
+}`
+	m, err := mlir.ParseModule(bad, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Verify(m.Op); err == nil {
+		t.Error("verifier accepted while without scf.condition")
+	}
+}
+
+func TestBlockHeaderScoping(t *testing.T) {
+	// Names bound in a ^bb0 header must not leak outside the region.
+	src := `
+func.func @f(%n: i64) -> i64 {
+  %zero = arith.constant 0 : i64
+  %r = scf.while (%x = %n) : (i64) -> i64 {
+    %cond = arith.cmpi sgt, %x, %zero : i64
+    scf.condition(%cond) %x : i64
+  } do {
+  ^bb0(%y: i64):
+    scf.yield %zero : i64
+  }
+  func.return %y : i64
+}`
+	if _, err := mlir.ParseModule(src, NewRegistry()); err == nil {
+		t.Error("header-bound name used outside its region was accepted")
+	}
+}

@@ -1,0 +1,39 @@
+package dialegg_test
+
+import (
+	"fmt"
+	"log"
+
+	"dialegg/internal/dialects"
+	"dialegg/internal/dialegg"
+	"dialegg/internal/mlir"
+	"dialegg/internal/rules"
+)
+
+// Example optimizes the paper's §7.2 division-by-power-of-two with the
+// full DialEgg pipeline: translate to egglog, saturate, extract, rebuild.
+func Example() {
+	reg := dialects.NewRegistry()
+	m, err := mlir.ParseModule(`
+func.func @scale(%x: i64) -> i64 {
+  %c256 = arith.constant 256 : i64
+  %r = arith.divsi %x, %c256 : i64
+  func.return %r : i64
+}`, reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := dialegg.NewOptimizer(dialegg.Options{RuleSources: rules.ImgConv()})
+	if _, err := opt.OptimizeModule(m); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(mlir.PrintModule(m, reg))
+	// Output:
+	// module {
+	//   func.func @scale(%x: i64) -> i64 {
+	//     %0 = arith.constant 8 : i64
+	//     %1 = arith.shrsi %x, %0 : i64
+	//     func.return %1 : i64
+	//   }
+	// }
+}

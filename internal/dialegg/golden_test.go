@@ -1,0 +1,85 @@
+package dialegg
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dialegg/internal/dialects"
+	"dialegg/internal/mlir"
+	"dialegg/internal/rules"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestGolden optimizes every testdata/*.mlir with the rule set named in
+// its leading "// RULES: <name>" comment and compares the printed result
+// against the .golden file. Regenerate with:
+//
+//	go test ./internal/dialegg -run TestGolden -update
+func TestGolden(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.mlir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no golden inputs found")
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			srcBytes, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := string(srcBytes)
+			ruleSet, ok := strings.CutPrefix(strings.SplitN(src, "\n", 2)[0], "// RULES: ")
+			if !ok {
+				t.Fatalf("%s: missing '// RULES: <name>' header", file)
+			}
+			var ruleSrcs []string
+			switch strings.TrimSpace(ruleSet) {
+			case "imgconv":
+				ruleSrcs = rules.ImgConv()
+			case "vecnorm":
+				ruleSrcs = rules.VecNorm()
+			case "poly":
+				ruleSrcs = rules.Poly()
+			case "matmul":
+				ruleSrcs = rules.MatmulChain()
+			case "fold":
+				ruleSrcs = []string{rules.ArithCore, rules.ConstantFold}
+			default:
+				t.Fatalf("%s: unknown rule set %q", file, ruleSet)
+			}
+
+			reg := dialects.NewRegistry()
+			m, err := mlir.ParseModule(src, reg)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			opt := NewOptimizer(Options{RuleSources: ruleSrcs})
+			if _, err := opt.OptimizeModule(m); err != nil {
+				t.Fatalf("optimize: %v", err)
+			}
+			got := mlir.PrintModule(m, reg)
+
+			goldenPath := strings.TrimSuffix(file, ".mlir") + ".golden"
+			if *updateGolden {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("output differs from %s:\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+			}
+		})
+	}
+}

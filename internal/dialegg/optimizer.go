@@ -1,0 +1,208 @@
+package dialegg
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"dialegg/internal/egglog"
+	"dialegg/internal/egraph"
+	"dialegg/internal/mlir"
+	"dialegg/internal/sexp"
+)
+
+// Options configures an Optimizer.
+type Options struct {
+	// RuleSources are egglog source texts executed after the prelude:
+	// operation declarations, cost models, and rewrite rules (the user's
+	// .egg files).
+	RuleSources []string
+	// RunConfig bounds the saturation run.
+	RunConfig egraph.RunConfig
+	// KeepEggProgram stores the generated egglog program text in the
+	// report (for debugging and the egg-opt --emit-egg flag).
+	KeepEggProgram bool
+	// Codecs supplies custom type/attribute eggifiers and de-eggifiers
+	// (§5.2); nil uses only the built-in encodings.
+	Codecs *Codecs
+	// ExplainRewrites records union provenance during saturation and
+	// attaches, per rewritten operation, a proof of why the original and
+	// replacement are equal (Report.RewriteExplanations).
+	ExplainRewrites bool
+}
+
+// Report records one optimization run, matching the paper's Table 2
+// columns: translation time to Egglog, total time inside Egglog, the
+// saturation portion, and translation time back to MLIR.
+type Report struct {
+	MLIRToEgg  time.Duration
+	EggTotal   time.Duration
+	Saturation time.Duration
+	EggToMLIR  time.Duration
+
+	// Run is the saturation engine report (iterations, nodes, stop
+	// reason).
+	Run egraph.RunReport
+	// NumRules counts user rewrite rules (excluding the prelude's and the
+	// generated type-of analyses).
+	NumRules int
+	// NumTranslatedOps and NumOpaqueOps count how MLIR ops were encoded.
+	NumTranslatedOps int
+	NumOpaqueOps     int
+	// ExtractDAGCost is ExtractCost with shared subterms counted once —
+	// the cost of the SSA program actually emitted (see TermDAGCost).
+	ExtractDAGCost int64
+	// ExtractCost is the cost of the extracted program under the e-graph
+	// cost model.
+	ExtractCost int64
+	// EggProgram is the generated program text when KeepEggProgram is set.
+	EggProgram string
+	// RewriteExplanations holds one rendered proof per rewritten operation
+	// when Options.ExplainRewrites is set.
+	RewriteExplanations []string
+}
+
+// Total returns the end-to-end optimization time.
+func (r *Report) Total() time.Duration { return r.MLIRToEgg + r.EggTotal + r.EggToMLIR }
+
+// merge accumulates another function's report (module-level totals).
+func (r *Report) merge(o *Report) {
+	r.MLIRToEgg += o.MLIRToEgg
+	r.EggTotal += o.EggTotal
+	r.Saturation += o.Saturation
+	r.EggToMLIR += o.EggToMLIR
+	r.NumTranslatedOps += o.NumTranslatedOps
+	r.NumOpaqueOps += o.NumOpaqueOps
+	r.ExtractCost += o.ExtractCost
+	r.ExtractDAGCost += o.ExtractDAGCost
+	if r.NumRules == 0 {
+		r.NumRules = o.NumRules
+	}
+	if o.Run.Iterations > r.Run.Iterations {
+		r.Run = o.Run
+	}
+	if o.EggProgram != "" {
+		if r.EggProgram != "" {
+			r.EggProgram += "\n"
+		}
+		r.EggProgram += o.EggProgram
+	}
+	r.RewriteExplanations = append(r.RewriteExplanations, o.RewriteExplanations...)
+}
+
+// Optimizer is the DialEgg driver: it owns the rule sources and applies
+// equality-saturation optimization to MLIR functions and modules.
+type Optimizer struct {
+	opts Options
+}
+
+// NewOptimizer returns a driver for the given options.
+func NewOptimizer(opts Options) *Optimizer {
+	return &Optimizer{opts: opts}
+}
+
+// preludeRuleCount is the number of rules the prelude itself declares
+// (dimension analysis and Value type-of); subtracted from rule counts so
+// reports show user rules only, as in the paper's Table 2.
+const preludeRuleCount = 2
+
+// OptimizeFunc runs the full DialEgg pipeline on one function and returns
+// the optimized replacement.
+func (o *Optimizer) OptimizeFunc(f *mlir.Operation) (*mlir.Operation, *Report, error) {
+	report := &Report{}
+
+	// Phase 0 (counted into EggTotal, like loading the .egg file into
+	// egglog): prelude + user declarations/rules + preparation scan.
+	startEgg := time.Now()
+	p := egglog.NewProgram()
+	if o.opts.ExplainRewrites {
+		p.Graph().EnableExplanations()
+	}
+	if _, err := p.ExecuteString(Prelude); err != nil {
+		return nil, nil, fmt.Errorf("dialegg: prelude: %w", err)
+	}
+	for i, src := range o.opts.RuleSources {
+		if _, err := p.ExecuteString(src); err != nil {
+			return nil, nil, fmt.Errorf("dialegg: rule source %d: %w", i, err)
+		}
+	}
+	report.NumRules = p.NumRules() - preludeRuleCount
+	encs, err := Prepare(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	report.EggTotal += time.Since(startEgg)
+
+	// Phase 1: MLIR -> Egglog.
+	startToEgg := time.Now()
+	tr, err := TranslateFuncWithCodecs(f, encs, o.opts.Codecs)
+	if err != nil {
+		return nil, nil, err
+	}
+	report.MLIRToEgg = time.Since(startToEgg)
+	report.NumTranslatedOps = tr.NumTranslated
+	report.NumOpaqueOps = tr.NumOpaque
+	if o.opts.KeepEggProgram {
+		var b strings.Builder
+		for _, l := range tr.Lets {
+			b.WriteString(l.String())
+			b.WriteByte('\n')
+		}
+		report.EggProgram = b.String()
+	}
+
+	// Phase 2: Egglog — load the program, saturate, extract.
+	startEgg = time.Now()
+	if _, err := p.Execute(tr.Lets); err != nil {
+		return nil, nil, fmt.Errorf("dialegg: loading translated program: %w", err)
+	}
+	startSat := time.Now()
+	run := p.RunRules(o.opts.RunConfig)
+	if run.Err != nil {
+		return nil, nil, fmt.Errorf("dialegg: saturation: %w", run.Err)
+	}
+	report.Saturation = time.Since(startSat)
+	report.Run = run
+	rootExpr := sexp.Symbol(tr.RootName)
+	term, cost, err := p.ExtractExpr(rootExpr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dialegg: extraction: %w", err)
+	}
+	report.ExtractCost = cost
+	report.ExtractDAGCost = TermDAGCost(term, costOfProgram(p))
+	report.EggTotal += time.Since(startEgg)
+
+	if o.opts.ExplainRewrites {
+		pairs := collectRewrites(f.Regions[0].First(), term, tr, encs)
+		report.RewriteExplanations = explainRewrites(p, tr, pairs)
+	}
+
+	// Phase 3: Egglog -> MLIR.
+	startBack := time.Now()
+	nf, err := RebuildFuncWithCodecs(f, term, tr, encs, o.opts.Codecs)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dialegg: back-translation: %w", err)
+	}
+	report.EggToMLIR = time.Since(startBack)
+	return nf, report, nil
+}
+
+// OptimizeModule optimizes every func.func in the module in place and
+// returns the aggregated report.
+func (o *Optimizer) OptimizeModule(m *mlir.Module) (*Report, error) {
+	total := &Report{}
+	body := m.Body()
+	for i, op := range body.Ops {
+		if op.Name != "func.func" {
+			continue
+		}
+		nf, rep, err := o.OptimizeFunc(op)
+		if err != nil {
+			return total, fmt.Errorf("dialegg: @%s: %w", mlir.FuncName(op), err)
+		}
+		nf.ParentBlock = body
+		body.Ops[i] = nf
+		total.merge(rep)
+	}
+	return total, nil
+}

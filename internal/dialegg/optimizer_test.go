@@ -1,0 +1,92 @@
+package dialegg
+
+import (
+	"strings"
+	"testing"
+
+	"dialegg/internal/mlir"
+	"dialegg/internal/rules"
+	"dialegg/internal/sexp"
+)
+
+func TestOptimizerErrorPaths(t *testing.T) {
+	src := `
+func.func @f(%x: i64) -> i64 {
+  func.return %x : i64
+}`
+	m, _ := parseModule(t, src)
+	cases := []struct {
+		name    string
+		ruleSrc string
+		wantErr string
+	}{
+		{"syntax error", `(function`, "unclosed"},
+		{"unknown sort", `(function f (Ghost) Op)`, "unknown sort"},
+		{"unknown command", `(frobnicate)`, "unknown command"},
+		{"bad rewrite rhs", `(sort S2) (function G () S2) (rewrite (G) ?unbound)`, "unbound"},
+		{"duplicate function", `(function I64 () Type)`, "already declared"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			opt := NewOptimizer(Options{RuleSources: []string{c.ruleSrc}})
+			_, err := opt.OptimizeModule(m.Clone())
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("want error containing %q, got %v", c.wantErr, err)
+			}
+		})
+	}
+}
+
+func TestOptimizerNonFuncTopLevelSkipped(t *testing.T) {
+	src := `
+func.func @f(%x: i64) -> i64 {
+  func.return %x : i64
+}
+"mydialect.global"() {name = "g"} : () -> ()
+`
+	m, _, reg := optimize(t, src, rules.ImgConv())
+	if countOps(m, "mydialect.global") != 1 {
+		t.Errorf("top-level non-func op lost:\n%s", mlir.PrintModule(m, reg))
+	}
+}
+
+func TestReportDAGCostSharesSubterms(t *testing.T) {
+	// Two divisions by the same constant rewrite to the same shift e-node:
+	// tree cost counts it twice, DAG cost once.
+	src := `
+func.func @share(%x: i64) -> i64 {
+  %c512 = arith.constant 512 : i64
+  %a = arith.divsi %x, %c512 : i64
+  %b = arith.divsi %x, %c512 : i64
+  %r = arith.addi %a, %b : i64
+  func.return %r : i64
+}`
+	_, rep, _ := optimize(t, src, rules.ImgConv())
+	if rep.ExtractDAGCost <= 0 {
+		t.Fatal("DAG cost not computed")
+	}
+	if rep.ExtractDAGCost >= rep.ExtractCost {
+		t.Errorf("DAG cost (%d) should be below tree cost (%d) when subterms are shared",
+			rep.ExtractDAGCost, rep.ExtractCost)
+	}
+}
+
+func TestTermDAGCost(t *testing.T) {
+	costOf := func(head string) int64 {
+		switch head {
+		case "Mul":
+			return 2
+		case "Num", "Var":
+			return 1
+		}
+		return 0
+	}
+	// (Mul (Var "a") (Var "a")): tree cost 4, DAG cost 3.
+	term, err := sexp.ParseOne(`(Mul (Var "a") (Var "a"))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := TermDAGCost(term, costOf); got != 3 {
+		t.Errorf("DAG cost = %d, want 3", got)
+	}
+}

@@ -1,0 +1,77 @@
+package dialegg
+
+// Prelude is DialEgg's pre-defined Egglog environment (§3 "Pre-defined
+// constructs"): the sorts for MLIR types, attributes, operations, blocks
+// and regions, the builtin-dialect types and attributes, and the helper
+// analyses (type-of, nrows, ncols) used by type-based cost models (§6.2).
+// User rule files execute after this prelude and may reference everything
+// declared here.
+const Prelude = `
+; ---- core sorts ----
+(sort Type)
+(sort Attr)
+(sort AttrPair)
+(sort Op)
+(sort IntVec (Vec i64))
+(sort OpVec (Vec Op))
+(datatype Block (Blk OpVec))
+(sort BlockVec (Vec Block))
+(datatype Region (Reg BlockVec))
+
+; ---- builtin types (§4.1) ----
+(function I1 () Type)
+(function I8 () Type)
+(function I16 () Type)
+(function I32 () Type)
+(function I64 () Type)
+(function F16 () Type)
+(function F32 () Type)
+(function F64 () Type)
+(function Index () Type)
+(function None () Type)
+(function RankedTensor (IntVec Type) Type)
+(function UnrankedTensor (Type) Type)
+(function OpaqueType (String String) Type)
+
+; ---- builtin attributes (§4.2) ----
+(function IntegerAttr (i64 Type) Attr)
+(function FloatAttr (f64 Type) Attr)
+(function StringAttr (String) Attr)
+(function SymbolAttr (String) Attr)
+(function UnitAttr () Attr)
+(function TypeAttr (Type) Attr)
+(function DenseAttr (Attr Type) Attr)
+(function OpaqueAttr (String) Attr)
+(datatype FastMathFlags (none) (fast) (nnan) (ninf) (contract) (reassoc))
+(function arith_fastmath (FastMathFlags) Attr)
+(function NamedAttr (String Attr) AttrPair)
+
+; ---- values (§4.3): block arguments and opaque operation results ----
+(function Value (i64 Type) Op :cost 1)
+
+; ---- structural operations pre-defined by DialEgg ----
+; Terminators and region-carrying control flow are needed by every use
+; case, so they ship with the tool.
+(function func_return (Op) Op)
+(function scf_yield (Op) Op)
+(function scf_yield_0 () Op)
+(function scf_if (Op Region Region Type) Op)
+(function scf_for (Op Op Op Region) Op)       ; lb ub step body (no results)
+(function scf_for_4 (Op Op Op Op Region Type) Op) ; one iter_arg variant
+(function scf_while_1 (Op Region Region Type) Op) ; one-init while loop
+(function scf_condition (Op Op) Op)           ; condition + one forwarded value
+
+; ---- analyses for cost models (§6.2) ----
+(function type-of (Op) Type)
+(function nrows (Type) i64)
+(function ncols (Type) i64)
+
+; every matrix-shaped tensor type exposes its dimensions (listing 6)
+(rule ((= ?t (RankedTensor ?shape ?e))
+       (>= (vec-length ?shape) 2))
+      ((set (nrows ?t) (vec-get ?shape 0))
+       (set (ncols ?t) (vec-get ?shape 1))))
+
+; values know their type
+(rule ((= ?v (Value ?id ?t))) ((set (type-of ?v) ?t)))
+`

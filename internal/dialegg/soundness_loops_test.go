@@ -1,0 +1,141 @@
+package dialegg
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dialegg/internal/dialects"
+	"dialegg/internal/interp"
+	"dialegg/internal/mlir"
+	"dialegg/internal/passes"
+	"dialegg/internal/rules"
+)
+
+// randLoopProgram generates a function with an accumulator loop whose body
+// is a random straight-line computation over the accumulator, the
+// induction variable, and constants — exercising DialEgg's region
+// translation, block-argument rebinding, and in-loop rewriting. An scf.if
+// over a loop-varying condition is included half the time.
+func randLoopProgram(rng *rand.Rand, nOps int) string {
+	var b strings.Builder
+	b.WriteString("func.func @f(%a: i64, %n: index) -> i64 {\n")
+	b.WriteString("  %c0 = arith.constant 0 : index\n")
+	b.WriteString("  %c1 = arith.constant 1 : index\n")
+	b.WriteString("  %zero = arith.constant 0 : i64\n")
+	b.WriteString("  %two = arith.constant 2 : i64\n")
+	nConsts := 0
+	b.WriteString("  %r = scf.for %i = %c0 to %n step %c1 iter_args(%acc = %zero) -> (i64) {\n")
+	b.WriteString("    %iv = arith.index_cast %i : index to i64\n")
+	vals := []string{"%a", "%acc", "%iv"}
+	pick := func() string { return vals[rng.Intn(len(vals))] }
+	emitConst := func(v int64) string {
+		nConsts++
+		name := fmt.Sprintf("%%k%d", nConsts)
+		fmt.Fprintf(&b, "    %s = arith.constant %d : i64\n", name, v)
+		return name
+	}
+	for i := 0; i < nOps; i++ {
+		name := fmt.Sprintf("%%v%d", i)
+		switch rng.Intn(7) {
+		case 0:
+			fmt.Fprintf(&b, "    %s = arith.addi %s, %s : i64\n", name, pick(), pick())
+		case 1:
+			fmt.Fprintf(&b, "    %s = arith.subi %s, %s : i64\n", name, pick(), pick())
+		case 2:
+			fmt.Fprintf(&b, "    %s = arith.muli %s, %s : i64\n", name, pick(), pick())
+		case 3:
+			d := int64(1) << uint(rng.Intn(9)+1) // power of two: rewrite target
+			k := emitConst(d)
+			fmt.Fprintf(&b, "    %s = arith.divsi %s, %s : i64\n", name, pick(), k)
+		case 4:
+			d := int64(rng.Intn(98) + 2)
+			if d == 2 || d == 4 || d == 8 {
+				d++ // keep this one a non-power-of-two
+			}
+			k := emitConst(d)
+			fmt.Fprintf(&b, "    %s = arith.divsi %s, %s : i64\n", name, pick(), k)
+		case 5:
+			fmt.Fprintf(&b, "    %s = arith.xori %s, %s : i64\n", name, pick(), pick())
+		default:
+			k := emitConst(int64(rng.Intn(16)))
+			fmt.Fprintf(&b, "    %s = arith.shrsi %s, %s : i64\n", name, pick(), k)
+		}
+		vals = append(vals, name)
+	}
+	last := vals[len(vals)-1]
+	if rng.Intn(2) == 0 {
+		// Wrap the yield value in an scf.if over a loop-varying condition.
+		fmt.Fprintf(&b, "    %%cnd = arith.cmpi sgt, %s, %%zero : i64\n", pick())
+		fmt.Fprintf(&b, "    %%sel = scf.if %%cnd -> (i64) {\n")
+		fmt.Fprintf(&b, "      %%t = arith.addi %s, %%two : i64\n", last)
+		fmt.Fprintf(&b, "      scf.yield %%t : i64\n    } else {\n")
+		fmt.Fprintf(&b, "      scf.yield %%acc : i64\n    }\n")
+		fmt.Fprintf(&b, "    scf.yield %%sel : i64\n")
+	} else {
+		fmt.Fprintf(&b, "    scf.yield %s : i64\n", last)
+	}
+	b.WriteString("  }\n  func.return %r : i64\n}\n")
+	return b.String()
+}
+
+// randDivisorIsPow2Safe: generated dividends can be negative, and the
+// sound division rewrite must preserve results exactly — this fuzz drives
+// the whole region machinery (loops, ifs, block args) plus the rewrite.
+func TestDifferentialSoundnessLoops(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential fuzzing skipped in -short")
+	}
+	rng := rand.New(rand.NewSource(424242))
+	ruleSrcs := []string{rules.ArithCore, rules.ConstantFold, rules.DivPow2Sound}
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		src := randLoopProgram(rng, 2+rng.Intn(8))
+		reg := dialects.NewRegistry()
+		m, err := mlir.ParseModule(src, reg)
+		if err != nil {
+			t.Fatalf("trial %d: parse: %v\n%s", trial, err, src)
+		}
+		if err := reg.Verify(m.Op); err != nil {
+			t.Fatalf("trial %d: generated program invalid: %v\n%s", trial, err, src)
+		}
+		om := m.Clone()
+		opt := NewOptimizer(Options{RuleSources: ruleSrcs})
+		if _, err := opt.OptimizeModule(om); err != nil {
+			t.Fatalf("trial %d: optimizer: %v\n%s", trial, err, src)
+		}
+		if err := reg.Verify(om.Op); err != nil {
+			t.Fatalf("trial %d: optimized invalid: %v\n%s\n->\n%s", trial, err, src,
+				mlir.PrintModule(om, reg))
+		}
+		cm := m.Clone()
+		if _, err := passes.NewPassManager(reg).Add(passes.NewCanonicalize()).Run(cm); err != nil {
+			t.Fatalf("trial %d: canonicalize: %v", trial, err)
+		}
+
+		for probe := 0; probe < 5; probe++ {
+			a := rng.Int63n(1<<32) - (1 << 31)
+			n := int64(rng.Intn(12))
+			want := callLoop(t, m, a, n)
+			if got := callLoop(t, om, a, n); got != want {
+				t.Fatalf("trial %d: DialEgg changed semantics: f(%d,%d) = %d, want %d\n%s\n->\n%s",
+					trial, a, n, got, want, src, mlir.PrintModule(om, reg))
+			}
+			if got := callLoop(t, cm, a, n); got != want {
+				t.Fatalf("trial %d: canonicalize changed semantics: f(%d,%d) = %d, want %d\n%s",
+					trial, a, n, got, want, src)
+			}
+		}
+	}
+}
+
+func callLoop(t *testing.T, m *mlir.Module, a, n int64) int64 {
+	t.Helper()
+	in := interp.New(m)
+	res, err := in.Call("f", interp.IntValue(a), interp.IntValue(n))
+	if err != nil {
+		t.Fatalf("interpretation failed: %v\n%s", err, mlir.PrintModule(m, dialects.NewRegistry()))
+	}
+	return res[0].Int()
+}

@@ -1,0 +1,220 @@
+package dialegg
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dialegg/internal/dialects"
+	"dialegg/internal/interp"
+	"dialegg/internal/mlir"
+	"dialegg/internal/passes"
+	"dialegg/internal/rules"
+)
+
+// randProgram generates a random straight-line integer function of two
+// arguments. Division always uses a non-zero positive constant divisor, so
+// every generated program is total.
+func randProgram(rng *rand.Rand, nOps int) string {
+	var b strings.Builder
+	b.WriteString("func.func @f(%a: i64, %b: i64) -> i64 {\n")
+	vals := []string{"%a", "%b"}
+	nConsts := 0
+	emitConst := func(v int64) string {
+		nConsts++
+		name := fmt.Sprintf("%%k%d", nConsts)
+		fmt.Fprintf(&b, "  %s = arith.constant %d : i64\n", name, v)
+		return name
+	}
+	pick := func() string { return vals[rng.Intn(len(vals))] }
+	for i := 0; i < nOps; i++ {
+		name := fmt.Sprintf("%%v%d", i)
+		switch rng.Intn(8) {
+		case 0:
+			fmt.Fprintf(&b, "  %s = arith.addi %s, %s : i64\n", name, pick(), pick())
+		case 1:
+			fmt.Fprintf(&b, "  %s = arith.subi %s, %s : i64\n", name, pick(), pick())
+		case 2:
+			fmt.Fprintf(&b, "  %s = arith.muli %s, %s : i64\n", name, pick(), pick())
+		case 3:
+			// Divisor: positive constant, half the time a power of two so
+			// the div-pow2 rule has targets.
+			d := int64(rng.Intn(100) + 1)
+			if rng.Intn(2) == 0 {
+				d = 1 << uint(rng.Intn(10))
+			}
+			k := emitConst(d)
+			fmt.Fprintf(&b, "  %s = arith.divsi %s, %s : i64\n", name, pick(), k)
+		case 4:
+			k := emitConst(int64(rng.Intn(8)))
+			fmt.Fprintf(&b, "  %s = arith.shli %s, %s : i64\n", name, pick(), k)
+		case 5:
+			k := emitConst(int64(rng.Intn(8)))
+			fmt.Fprintf(&b, "  %s = arith.shrsi %s, %s : i64\n", name, pick(), k)
+		case 6:
+			fmt.Fprintf(&b, "  %s = arith.xori %s, %s : i64\n", name, pick(), pick())
+		default:
+			k := emitConst(int64(rng.Intn(64) - 32))
+			fmt.Fprintf(&b, "  %s = arith.addi %s, %s : i64\n", name, pick(), k)
+		}
+		vals = append(vals, name)
+	}
+	fmt.Fprintf(&b, "  func.return %s : i64\n}\n", vals[len(vals)-1])
+	return b.String()
+}
+
+// TestDifferentialSoundness: for random programs and random inputs, the
+// DialEgg-optimized program computes exactly what the original computes.
+// This is the §8.1 output-verification discipline turned into a fuzz test.
+func TestDifferentialSoundness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential fuzzing skipped in -short")
+	}
+	rng := rand.New(rand.NewSource(2025))
+	// The fuzzer uses the *sound* division rewrite: the paper's literal
+	// §7.2 rule floors negative dividends (see TestPaperDivRuleUnsound).
+	ruleSrcs := []string{rules.ArithCore, rules.ConstantFold, rules.DivPow2Sound}
+	const trials = 60
+	for trial := 0; trial < trials; trial++ {
+		src := randProgram(rng, 3+rng.Intn(12))
+		reg := dialects.NewRegistry()
+		m, err := mlir.ParseModule(src, reg)
+		if err != nil {
+			t.Fatalf("trial %d: generated program does not parse: %v\n%s", trial, err, src)
+		}
+		om := m.Clone()
+		opt := NewOptimizer(Options{RuleSources: ruleSrcs})
+		if _, err := opt.OptimizeModule(om); err != nil {
+			t.Fatalf("trial %d: optimizer failed: %v\n%s", trial, err, src)
+		}
+		if err := reg.Verify(om.Op); err != nil {
+			t.Fatalf("trial %d: optimized program invalid: %v\n%s", trial, err,
+				mlir.PrintModule(om, reg))
+		}
+		// Also cross-check the classical canonicalizer on the same program.
+		cm := m.Clone()
+		pm := passes.NewPassManager(reg).Add(passes.NewCanonicalize())
+		if _, err := pm.Run(cm); err != nil {
+			t.Fatalf("trial %d: canonicalize failed: %v", trial, err)
+		}
+
+		for probe := 0; probe < 8; probe++ {
+			a := rng.Int63n(1<<40) - (1 << 39)
+			b := rng.Int63n(1<<40) - (1 << 39)
+			want := callI64(t, m, a, b)
+			if got := callI64(t, om, a, b); got != want {
+				t.Fatalf("trial %d: DialEgg changed semantics: f(%d,%d) = %d, want %d\noriginal:\n%s\noptimized:\n%s",
+					trial, a, b, got, want, src, mlir.PrintModule(om, reg))
+			}
+			if got := callI64(t, cm, a, b); got != want {
+				t.Fatalf("trial %d: canonicalize changed semantics: f(%d,%d) = %d, want %d\n%s",
+					trial, a, b, got, want, src)
+			}
+		}
+	}
+}
+
+func callI64(t *testing.T, m *mlir.Module, a, b int64) int64 {
+	t.Helper()
+	in := interp.New(m)
+	res, err := in.Call("f", interp.IntValue(a), interp.IntValue(b))
+	if err != nil {
+		t.Fatalf("interpretation failed: %v", err)
+	}
+	return res[0].Int()
+}
+
+// TestDifferentialOptimizedNotWorse: the optimized program never charges
+// more cycles than the original on the same input (extraction minimizes a
+// cost aligned with the latency model).
+func TestDifferentialOptimizedNotWorse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential fuzzing skipped in -short")
+	}
+	rng := rand.New(rand.NewSource(777))
+	ruleSrcs := []string{rules.ArithCore, rules.ConstantFold, rules.DivPow2Sound}
+	for trial := 0; trial < 25; trial++ {
+		src := randProgram(rng, 4+rng.Intn(10))
+		reg := dialects.NewRegistry()
+		m, err := mlir.ParseModule(src, reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		om := m.Clone()
+		opt := NewOptimizer(Options{RuleSources: ruleSrcs})
+		if _, err := opt.OptimizeModule(om); err != nil {
+			t.Fatal(err)
+		}
+		before := cyclesOf(t, m)
+		after := cyclesOf(t, om)
+		if after > before {
+			t.Errorf("trial %d: optimization regressed cycles %d -> %d\n%s\n->\n%s",
+				trial, before, after, src, mlir.PrintModule(om, reg))
+		}
+	}
+}
+
+// TestPaperDivRuleUnsound documents the discrepancy the fuzzer found in
+// the paper's literal §7.2 rule: for negative dividends, x/2^k truncates
+// toward zero while x>>k floors, so the rewrite changes results — the
+// paper's §9 caveat made concrete. The sound variant (DivPow2Sound) adds
+// the LLVM-style bias and preserves semantics on the same input.
+func TestPaperDivRuleUnsound(t *testing.T) {
+	src := `
+func.func @f(%a: i64, %b: i64) -> i64 {
+  %c2 = arith.constant 2 : i64
+  %r = arith.divsi %a, %c2 : i64
+  func.return %r : i64
+}`
+	reg := dialects.NewRegistry()
+	m, err := mlir.ParseModule(src, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := callI64(t, m, -21, 0) // -21/2 = -10 (truncation toward zero)
+	if want != -10 {
+		t.Fatalf("baseline: -21/2 = %d, want -10", want)
+	}
+
+	paper := m.Clone()
+	if _, err := NewOptimizer(Options{RuleSources: []string{rules.ArithCore, rules.DivPow2}}).OptimizeModule(paper); err != nil {
+		t.Fatal(err)
+	}
+	if got := callI64(t, paper, -21, 0); got != -11 {
+		t.Errorf("paper's rule: expected the documented floor behaviour (-11), got %d", got)
+	}
+
+	sound := m.Clone()
+	if _, err := NewOptimizer(Options{RuleSources: []string{rules.ArithCore, rules.DivPow2Sound}}).OptimizeModule(sound); err != nil {
+		t.Fatal(err)
+	}
+	if countOps(sound, "arith.divsi") != 0 {
+		t.Errorf("sound rule did not fire:\n%s", mlir.PrintModule(sound, reg))
+	}
+	if got := callI64(t, sound, -21, 0); got != want {
+		t.Errorf("sound rule: f(-21) = %d, want %d\n%s", got, want, mlir.PrintModule(sound, reg))
+	}
+	// And it still pays off: fewer cycles than the division.
+	base := interp.New(m)
+	if _, err := base.Call("f", interp.IntValue(-21), interp.IntValue(0)); err != nil {
+		t.Fatal(err)
+	}
+	opt := interp.New(sound)
+	if _, err := opt.Call("f", interp.IntValue(-21), interp.IntValue(0)); err != nil {
+		t.Fatal(err)
+	}
+	if opt.Stats.Cycles >= base.Stats.Cycles {
+		t.Errorf("sound shift sequence (%d cycles) should still beat division (%d cycles)",
+			opt.Stats.Cycles, base.Stats.Cycles)
+	}
+}
+
+func cyclesOf(t *testing.T, m *mlir.Module) int64 {
+	t.Helper()
+	in := interp.New(m)
+	if _, err := in.Call("f", interp.IntValue(12345), interp.IntValue(-678)); err != nil {
+		t.Fatal(err)
+	}
+	return in.Stats.Cycles
+}

@@ -1,0 +1,8 @@
+// RULES: fold
+// §7.1: 2 + 3 folds to 5 inside the e-graph.
+func.func @fold() -> i32 {
+  %c2 = arith.constant 2 : i32
+  %c3 = arith.constant 3 : i32
+  %sum = arith.addi %c2, %c3 : i32
+  func.return %sum : i32
+}

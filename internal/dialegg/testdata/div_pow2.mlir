@@ -1,0 +1,7 @@
+// RULES: imgconv
+// §7.2: division by 256 becomes a right shift by 8 (listing 7's example).
+func.func @scale(%x: i64) -> i64 {
+  %c256 = arith.constant 256 : i64
+  %result = arith.divsi %x, %c256 : i64
+  func.return %result : i64
+}

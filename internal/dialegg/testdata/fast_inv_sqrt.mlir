@@ -1,0 +1,8 @@
+// RULES: vecnorm
+// §7.3: fastmath 1/sqrt(x) becomes the fast_inv_sqrt call.
+func.func @inv(%x: f32) -> f32 {
+  %c1 = arith.constant 1.0 : f32
+  %dist = math.sqrt %x fastmath<fast> : f32
+  %inv_dist = arith.divf %c1, %dist fastmath<fast> : f32
+  func.return %inv_dist : f32
+}

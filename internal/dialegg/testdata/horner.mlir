@@ -1,0 +1,11 @@
+// RULES: poly
+// §7.5: the naive quadratic becomes Horner form.
+func.func @poly(%x: f64, %a: f64, %b: f64, %c: f64) -> f64 {
+  %c2 = arith.constant 2.0 : f64
+  %x2 = math.powf %x, %c2 : f64
+  %t1 = arith.mulf %b, %x : f64
+  %t2 = arith.mulf %a, %x2 : f64
+  %t3 = arith.addf %t1, %t2 : f64
+  %t4 = arith.addf %c, %t3 : f64
+  func.return %t4 : f64
+}

@@ -1,0 +1,9 @@
+// RULES: matmul
+// §7.4: the 270,000-multiplication bracketing becomes the 20,000 one.
+func.func @two_mm(%A: tensor<100x10xf64>, %B: tensor<10x150xf64>, %C: tensor<150x8xf64>) -> tensor<100x8xf64> {
+  %e1 = tensor.empty() : tensor<100x150xf64>
+  %AB = linalg.matmul ins(%A, %B : tensor<100x10xf64>, tensor<10x150xf64>) outs(%e1 : tensor<100x150xf64>) -> tensor<100x150xf64>
+  %e2 = tensor.empty() : tensor<100x8xf64>
+  %r = linalg.matmul ins(%AB, %C : tensor<100x150xf64>, tensor<150x8xf64>) outs(%e2 : tensor<100x8xf64>) -> tensor<100x8xf64>
+  func.return %r : tensor<100x8xf64>
+}

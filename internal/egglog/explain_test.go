@@ -1,0 +1,125 @@
+package egglog
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExplainFigure1 produces a proof for the paper's headline equality:
+// (a*2)/2 = a, naming the rules on the path.
+func TestExplainFigure1(t *testing.T) {
+	p := NewProgram()
+	mustExec(t, p, `(set-option enable-proofs true)`+exprPrelude+`
+(rewrite (Div ?x ?x) (Num 1) :name "div-cancel")
+(rewrite (Mul ?x (Num 1)) ?x :name "mul-one")
+(rewrite (Mul ?x (Num 2)) (Shl ?x (Num 1)) :name "mul2-shl")
+(rewrite (Div (Mul ?x ?y) ?z) (Mul ?x (Div ?y ?z)) :name "mul-div-assoc")
+(let expr (Div (Mul (Var "a") (Num 2)) (Num 2)))
+(run 20)
+`)
+	res, err := p.ExecuteString(`(explain expr (Var "a"))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof := res[0].Explanation
+	if proof == "" {
+		t.Fatal("empty proof")
+	}
+	// The proof must mention the rules that make the equality hold.
+	for _, rule := range []string{"mul-div-assoc", "mul-one"} {
+		if !strings.Contains(proof, rule) {
+			t.Errorf("proof missing rule %q:\n%s", rule, proof)
+		}
+	}
+	t.Logf("proof:\n%s", proof)
+}
+
+// TestExplainCongruence: equality established purely by congruence carries
+// a congruence step whose sub-proof names the child rule.
+func TestExplainCongruence(t *testing.T) {
+	p := NewProgram()
+	mustExec(t, p, `(set-option enable-proofs true)`+exprPrelude+`
+(rewrite (Add (Num ?x) (Num ?y)) (Num (+ ?x ?y)) :name "fold-add")
+(let a (Mul (Add (Num 1) (Num 2)) (Var "q")))
+(let b (Mul (Num 3) (Var "q")))
+(run 5)
+(check (= a b))
+`)
+	res, err := p.ExecuteString(`(explain a b)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof := res[0].Explanation
+	if !strings.Contains(proof, "congruence of Mul") {
+		t.Errorf("proof missing congruence step:\n%s", proof)
+	}
+	if !strings.Contains(proof, "fold-add") {
+		t.Errorf("congruence sub-proof missing fold-add:\n%s", proof)
+	}
+	t.Logf("proof:\n%s", proof)
+}
+
+// TestExplainRequiresEnable: explaining without proofs enabled errors.
+func TestExplainRequiresEnable(t *testing.T) {
+	p := NewProgram()
+	mustExec(t, p, exprPrelude+`
+(let a (Num 1))
+(let b (Num 2))
+(union a b)
+`)
+	if _, err := p.ExecuteString(`(explain a b)`); err == nil {
+		t.Error("explain without enable-proofs should error")
+	}
+}
+
+// TestExplainUnequalFails: asking for a proof of a non-equality errors.
+func TestExplainUnequalFails(t *testing.T) {
+	p := NewProgram()
+	mustExec(t, p, `(set-option enable-proofs true)`+exprPrelude+`
+(let a (Num 1))
+(let b (Num 2))
+`)
+	if _, err := p.ExecuteString(`(explain a b)`); err == nil {
+		t.Error("explain of unequal values should error")
+	}
+}
+
+// TestExplainExplicitUnion labels user unions as explicit.
+func TestExplainExplicitUnion(t *testing.T) {
+	p := NewProgram()
+	mustExec(t, p, `(set-option enable-proofs true)`+exprPrelude+`
+(let a (Var "x"))
+(let b (Var "y"))
+(union a b)
+`)
+	res, err := p.ExecuteString(`(explain a b)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res[0].Explanation, "explicit union") {
+		t.Errorf("proof missing explicit union label:\n%s", res[0].Explanation)
+	}
+}
+
+// TestExplainTransitiveChain: a chain of unions produces a multi-step
+// proof.
+func TestExplainTransitiveChain(t *testing.T) {
+	p := NewProgram()
+	mustExec(t, p, `(set-option enable-proofs true)`+exprPrelude+`
+(let a (Var "a"))
+(let b (Var "b"))
+(let c (Var "c"))
+(let d (Var "d"))
+(union a b)
+(union c d)
+(union b c)
+`)
+	res, err := p.ExecuteString(`(explain a d)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := strings.Count(res[0].Explanation, "explicit union")
+	if steps < 2 {
+		t.Errorf("expected a multi-step chain, got:\n%s", res[0].Explanation)
+	}
+}

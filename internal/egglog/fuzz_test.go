@@ -1,0 +1,29 @@
+package egglog
+
+import "testing"
+
+// FuzzExecute: the egglog interpreter must reject or execute any input
+// without panicking.
+func FuzzExecute(f *testing.F) {
+	seeds := []string{
+		exprPrelude,
+		exprPrelude + paperRules + `(let e (Num 1)) (run 2) (extract e)`,
+		`(sort S (Vec i64))`,
+		`(datatype D (V i64 :cost 2))`,
+		`(rule ((= ?x (f ?y))) ((union ?x ?y)))`,
+		`(rewrite (Num ?n) (Num (+ ?n 1)))`,
+		`(check (= 1 1))`,
+		`(ruleset rs) (run-schedule (saturate rs))`,
+		`(function f (i64) i64 :merge (min old new))`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p := NewProgram()
+		// Bound runaway saturation from fuzzed rules.
+		p.RunDefaults.IterLimit = 3
+		p.RunDefaults.NodeLimit = 2000
+		_, _ = p.ExecuteString(src)
+	})
+}

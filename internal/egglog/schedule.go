@@ -1,0 +1,193 @@
+package egglog
+
+import (
+	"fmt"
+
+	"dialegg/internal/egraph"
+	"dialegg/internal/sexp"
+)
+
+// DeclareRuleset registers an empty named ruleset.
+func (p *Program) DeclareRuleset(name string) error {
+	if name == "" {
+		return fmt.Errorf("egglog: ruleset name cannot be empty")
+	}
+	if _, dup := p.rulesets[name]; dup {
+		return fmt.Errorf("egglog: ruleset %q already declared", name)
+	}
+	p.rulesets[name] = nil
+	p.rulesetOrder = append(p.rulesetOrder, name)
+	return nil
+}
+
+// addRule files a compiled rule under its ruleset ("" = default).
+func (p *Program) addRule(r *egraph.Rule, ruleset string) error {
+	if ruleset == "" {
+		p.rules = append(p.rules, r)
+		return nil
+	}
+	if _, ok := p.rulesets[ruleset]; !ok {
+		return fmt.Errorf("egglog: unknown ruleset %q (declare it with (ruleset %s))", ruleset, ruleset)
+	}
+	p.rulesets[ruleset] = append(p.rulesets[ruleset], r)
+	return nil
+}
+
+// rulesFor resolves a ruleset name for scheduling; the empty name means
+// the default set.
+func (p *Program) rulesFor(name string) ([]*egraph.Rule, error) {
+	if name == "" {
+		return p.rules, nil
+	}
+	rs, ok := p.rulesets[name]
+	if !ok {
+		return nil, fmt.Errorf("egglog: unknown ruleset %q", name)
+	}
+	return rs, nil
+}
+
+// RunSchedule interprets a (run-schedule ...) body: a sequence of schedule
+// items executed in order. Supported items:
+//
+//	<ruleset-name>            run that ruleset once
+//	(run <ruleset>? <N>?)     run a ruleset for up to N iterations
+//	(saturate item...)        repeat the items until nothing changes
+//	(seq item...)             run items in order
+//	(repeat N item...)        run items N times
+//
+// The aggregate report covers the whole schedule (iterations summed,
+// last stop reason kept).
+func (p *Program) RunSchedule(items []*sexp.Node, cfg egraph.RunConfig) (egraph.RunReport, error) {
+	total := egraph.RunReport{Stop: egraph.StopSaturated}
+	for _, item := range items {
+		rep, err := p.runScheduleItem(item, cfg)
+		if err != nil {
+			return total, err
+		}
+		mergeReports(&total, rep)
+		if rep.Err != nil {
+			total.Err = rep.Err
+			break
+		}
+	}
+	p.LastRun = total
+	return total, nil
+}
+
+func mergeReports(total *egraph.RunReport, rep egraph.RunReport) {
+	total.Iterations += rep.Iterations
+	total.Elapsed += rep.Elapsed
+	total.PerIter = append(total.PerIter, rep.PerIter...)
+	total.Nodes = rep.Nodes
+	total.Classes = rep.Classes
+	total.Stop = rep.Stop
+}
+
+func (p *Program) runScheduleItem(item *sexp.Node, cfg egraph.RunConfig) (egraph.RunReport, error) {
+	if item.Kind == sexp.KindSymbol {
+		rules, err := p.rulesFor(item.Sym)
+		if err != nil {
+			return egraph.RunReport{}, err
+		}
+		one := cfg
+		one.IterLimit = 1
+		return p.g.Run(rules, one), nil
+	}
+	if item.Kind != sexp.KindList {
+		return egraph.RunReport{}, fmt.Errorf("egglog: invalid schedule item %s", item)
+	}
+	switch item.Head() {
+	case "run":
+		name := ""
+		iters := 0
+		for _, a := range item.Args() {
+			switch a.Kind {
+			case sexp.KindSymbol:
+				name = a.Sym
+			case sexp.KindInt:
+				iters = int(a.Int)
+			default:
+				return egraph.RunReport{}, fmt.Errorf("egglog: invalid (run ...) argument %s", a)
+			}
+		}
+		rules, err := p.rulesFor(name)
+		if err != nil {
+			return egraph.RunReport{}, err
+		}
+		one := cfg
+		if iters > 0 {
+			one.IterLimit = iters
+		}
+		return p.g.Run(rules, one), nil
+
+	case "saturate":
+		// Cap outer iterations so a schedule over an ever-growing ruleset
+		// still terminates even without an explicit limit.
+		limit := cfg.IterLimit
+		if limit <= 0 {
+			limit = 10_000
+		}
+		var total egraph.RunReport
+		for {
+			before := p.g.UnionCount()
+			rowsBefore := p.g.TotalRows()
+			for _, sub := range item.Args() {
+				rep, err := p.runScheduleItem(sub, cfg)
+				if err != nil {
+					return total, err
+				}
+				mergeReports(&total, rep)
+				if rep.Err != nil {
+					total.Err = rep.Err
+					return total, nil
+				}
+			}
+			if p.g.UnionCount() == before && p.g.TotalRows() == rowsBefore {
+				total.Stop = egraph.StopSaturated
+				return total, nil
+			}
+			if total.Iterations >= limit {
+				total.Stop = egraph.StopIterLimit
+				return total, nil
+			}
+		}
+
+	case "seq":
+		var total egraph.RunReport
+		for _, sub := range item.Args() {
+			rep, err := p.runScheduleItem(sub, cfg)
+			if err != nil {
+				return total, err
+			}
+			mergeReports(&total, rep)
+			if rep.Err != nil {
+				total.Err = rep.Err
+				return total, nil
+			}
+		}
+		return total, nil
+
+	case "repeat":
+		if len(item.Args()) < 1 || item.Args()[0].Kind != sexp.KindInt {
+			return egraph.RunReport{}, fmt.Errorf("egglog: repeat expects a count")
+		}
+		var total egraph.RunReport
+		for i := int64(0); i < item.Args()[0].Int; i++ {
+			for _, sub := range item.Args()[1:] {
+				rep, err := p.runScheduleItem(sub, cfg)
+				if err != nil {
+					return total, err
+				}
+				mergeReports(&total, rep)
+				if rep.Err != nil {
+					total.Err = rep.Err
+					return total, nil
+				}
+			}
+		}
+		return total, nil
+
+	default:
+		return egraph.RunReport{}, fmt.Errorf("egglog: unknown schedule form %q", item.Head())
+	}
+}

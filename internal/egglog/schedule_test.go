@@ -1,0 +1,86 @@
+package egglog
+
+import (
+	"testing"
+)
+
+// TestRulesetIsolation: rules in a named ruleset do not fire during a
+// plain (run ...).
+func TestRulesetIsolation(t *testing.T) {
+	p := NewProgram()
+	mustExec(t, p, exprPrelude+`
+(ruleset cleanup)
+(rewrite (Mul ?x (Num 1)) ?x :ruleset cleanup)
+(let e (Mul (Var "a") (Num 1)))
+(run 5)
+`)
+	holds, err := p.Check(mustParseFacts(t, `(= e (Var "a"))`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if holds {
+		t.Error("ruleset rule fired during default run")
+	}
+	mustExec(t, p, `(run-schedule (run cleanup 5)) (check (= e (Var "a")))`)
+}
+
+// TestRunScheduleSaturate: (saturate ...) repeats until fixpoint.
+func TestRunScheduleSaturate(t *testing.T) {
+	p := NewProgram()
+	res := mustExec(t, p, exprPrelude+`
+(ruleset fold)
+(rewrite (Add (Num ?x) (Num ?y)) (Num (+ ?x ?y)) :ruleset fold)
+(let e (Add (Add (Add (Num 1) (Num 2)) (Num 3)) (Num 4)))
+(run-schedule (saturate fold))
+(check (= e (Num 10)))
+`)
+	for _, r := range res {
+		if r.Command == "run-schedule" && r.Report.Iterations < 2 {
+			t.Errorf("saturate should need multiple passes, got %d", r.Report.Iterations)
+		}
+	}
+}
+
+// TestRunScheduleSeqAndRepeat: staged scheduling composes; an expansion
+// stage runs a bounded number of times before a cleanup stage.
+func TestRunScheduleSeqRepeat(t *testing.T) {
+	p := NewProgram()
+	mustExec(t, p, exprPrelude+`
+(ruleset expand)
+(ruleset cleanup)
+; expansion: a => a*1 (grows the graph each round)
+(rewrite (Var ?n) (Mul (Var ?n) (Num 1)) :ruleset expand)
+; cleanup: a*1 => a
+(rewrite (Mul ?x (Num 1)) ?x :ruleset cleanup)
+(let e (Var "a"))
+(run-schedule (seq (repeat 2 (run expand 1)) (saturate cleanup)))
+(check (= e (Mul (Var "a") (Num 1))))
+`)
+}
+
+// TestRunScheduleUnknownRuleset errors cleanly.
+func TestRunScheduleUnknownRuleset(t *testing.T) {
+	p := NewProgram()
+	mustExec(t, p, exprPrelude)
+	if _, err := p.ExecuteString(`(run-schedule (run ghost 1))`); err == nil {
+		t.Error("unknown ruleset accepted")
+	}
+	if _, err := p.ExecuteString(`(rewrite (Num ?x) (Num ?x) :ruleset ghost)`); err == nil {
+		t.Error("rule filed under undeclared ruleset")
+	}
+	if _, err := p.ExecuteString(`(ruleset rs) (ruleset rs)`); err == nil {
+		t.Error("duplicate ruleset accepted")
+	}
+}
+
+// TestBareRulesetNameInSchedule: a bare symbol runs that ruleset once.
+func TestBareRulesetNameInSchedule(t *testing.T) {
+	p := NewProgram()
+	mustExec(t, p, exprPrelude+`
+(ruleset fold)
+(rewrite (Add (Num ?x) (Num ?y)) (Num (+ ?x ?y)) :ruleset fold)
+(let e (Add (Num 1) (Num 2)))
+(run-schedule fold)
+(check (= e (Num 3)))
+`)
+}

@@ -1,0 +1,564 @@
+package egraph
+
+import (
+	"fmt"
+	"sort"
+
+	"dialegg/internal/unionfind"
+)
+
+// EGraph is the equality-saturation database: sorts, function tables, a
+// union-find over e-class IDs, and interning pools for strings and vectors.
+type EGraph struct {
+	sorts map[string]*Sort
+	// funcs holds declared functions in declaration order for deterministic
+	// iteration.
+	funcs   []*Function
+	funcsBy map[string]*Function
+
+	uf      *unionfind.UF
+	strings *stringPool
+	vecs    *vecPool
+
+	// I64, F64, Str, Bool, Unit are the builtin primitive sorts, created by
+	// New and shared by all functions of this graph.
+	I64, F64, Str, Bool, Unit *Sort
+
+	// unionCount increments on every effective union; the runner uses it to
+	// detect fixpoints.
+	unionCount uint64
+	// dirty is set when a union happened since the last Rebuild.
+	dirty bool
+	// proofs, when non-nil, records union provenance for Explain.
+	proofs *proofForest
+	// trackOrig makes new tables preserve as-inserted argument tuples
+	// (set by EnableExplanations).
+	trackOrig bool
+	// createdBy maps each e-class element to the constructor application
+	// that created it (proof rendering); populated when trackOrig is on.
+	createdBy map[uint32]createdRef
+}
+
+// createdRef locates the e-node whose insertion created a class element.
+type createdRef struct {
+	fn  *Function
+	row int
+}
+
+// New returns an empty e-graph with the builtin sorts registered.
+func New() *EGraph {
+	g := &EGraph{
+		sorts:   make(map[string]*Sort),
+		funcsBy: make(map[string]*Function),
+		uf:      unionfind.New(),
+		strings: newStringPool(),
+		vecs:    newVecPool(),
+	}
+	g.I64 = g.mustAddSort(&Sort{Name: "i64", Kind: KindI64})
+	g.F64 = g.mustAddSort(&Sort{Name: "f64", Kind: KindF64})
+	g.Str = g.mustAddSort(&Sort{Name: "String", Kind: KindString})
+	g.Bool = g.mustAddSort(&Sort{Name: "bool", Kind: KindBool})
+	g.Unit = g.mustAddSort(&Sort{Name: "Unit", Kind: KindUnit})
+	return g
+}
+
+func (g *EGraph) mustAddSort(s *Sort) *Sort {
+	if _, dup := g.sorts[s.Name]; dup {
+		panic("duplicate sort " + s.Name)
+	}
+	g.sorts[s.Name] = s
+	return s
+}
+
+// AddEqSort declares a new equivalence sort (egglog's `sort`/`datatype`).
+func (g *EGraph) AddEqSort(name string) (*Sort, error) {
+	if _, dup := g.sorts[name]; dup {
+		return nil, fmt.Errorf("egraph: sort %q already declared", name)
+	}
+	return g.mustAddSort(&Sort{Name: name, Kind: KindEq}), nil
+}
+
+// VecSortOf returns (declaring on first use) the vector sort over elem.
+func (g *EGraph) VecSortOf(elem *Sort) *Sort {
+	name := "Vec<" + elem.Name + ">"
+	if s, ok := g.sorts[name]; ok {
+		return s
+	}
+	return g.mustAddSort(&Sort{Name: name, Kind: KindVec, Elem: elem})
+}
+
+// SortByName looks up a declared sort.
+func (g *EGraph) SortByName(name string) (*Sort, bool) {
+	s, ok := g.sorts[name]
+	return s, ok
+}
+
+// Sorts returns all declared sorts sorted by name.
+func (g *EGraph) Sorts() []*Sort {
+	out := make([]*Sort, 0, len(g.sorts))
+	for _, s := range g.sorts {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// DeclareFunction registers a function. For primitive-output functions a
+// nil merge defaults to MergeMustEqual.
+func (g *EGraph) DeclareFunction(f *Function) (*Function, error) {
+	if _, dup := g.funcsBy[f.Name]; dup {
+		return nil, fmt.Errorf("egraph: function %q already declared", f.Name)
+	}
+	if f.Out == nil {
+		return nil, fmt.Errorf("egraph: function %q has no output sort", f.Name)
+	}
+	if f.Merge == nil {
+		f.Merge = MergeMustEqual
+	}
+	if f.Cost == 0 && f.IsConstructor() {
+		f.Cost = 1
+	}
+	f.table = newTable()
+	f.table.trackOrig = g.trackOrig
+	g.funcs = append(g.funcs, f)
+	g.funcsBy[f.Name] = f
+	return f, nil
+}
+
+// FunctionByName looks up a declared function.
+func (g *EGraph) FunctionByName(name string) (*Function, bool) {
+	f, ok := g.funcsBy[name]
+	return f, ok
+}
+
+// Functions returns all declared functions in declaration order.
+func (g *EGraph) Functions() []*Function { return g.funcs }
+
+// InternString returns the interned string value.
+func (g *EGraph) InternString(s string) Value {
+	return Value{Sort: g.Str, Bits: uint64(g.strings.intern(s))}
+}
+
+// StringOf decodes a KindString value.
+func (g *EGraph) StringOf(v Value) string { return g.strings.get(uint32(v.Bits)) }
+
+// InternVec returns the interned vector value over the given element sort.
+// Elements are canonicalized first so bit-equality of canonical vec values
+// implies element-wise equality.
+func (g *EGraph) InternVec(vecSort *Sort, elems []Value) Value {
+	canon := make([]Value, len(elems))
+	for i, e := range elems {
+		canon[i] = g.Find(e)
+	}
+	return Value{Sort: vecSort, Bits: uint64(g.vecs.intern(canon))}
+}
+
+// VecElems decodes a KindVec value. The returned slice must not be mutated.
+func (g *EGraph) VecElems(v Value) []Value { return g.vecs.get(uint32(v.Bits)) }
+
+// Find canonicalizes a value: eq-sort values are resolved through the
+// union-find; vector values are re-interned with canonical elements; other
+// primitives are already canonical.
+func (g *EGraph) Find(v Value) Value {
+	switch v.Sort.Kind {
+	case KindEq:
+		return Value{Sort: v.Sort, Bits: uint64(g.uf.Find(uint32(v.Bits)))}
+	case KindVec:
+		elems := g.vecs.get(uint32(v.Bits))
+		changed := false
+		for _, e := range elems {
+			if f := g.Find(e); f.Bits != e.Bits {
+				changed = true
+				break
+			}
+		}
+		if !changed {
+			return v
+		}
+		canon := make([]Value, len(elems))
+		for i, e := range elems {
+			canon[i] = g.Find(e)
+		}
+		return Value{Sort: v.Sort, Bits: uint64(g.vecs.intern(canon))}
+	default:
+		return v
+	}
+}
+
+// Eq reports whether two values are equal modulo the union-find.
+func (g *EGraph) Eq(a, b Value) bool {
+	if a.Sort != b.Sort {
+		return false
+	}
+	return g.Find(a).Bits == g.Find(b).Bits
+}
+
+func (g *EGraph) newClass(s *Sort) Value {
+	return Value{Sort: s, Bits: uint64(g.uf.MakeSet())}
+}
+
+func (g *EGraph) canonArgs(f *Function, args []Value) ([]Value, error) {
+	if len(args) != len(f.Params) {
+		return nil, fmt.Errorf("egraph: %s expects %d args, got %d", f.Name, len(f.Params), len(args))
+	}
+	canon := make([]Value, len(args))
+	for i, a := range args {
+		if a.Sort != f.Params[i] {
+			return nil, fmt.Errorf("egraph: %s arg %d: have sort %s, want %s", f.Name, i, a.Sort, f.Params[i])
+		}
+		canon[i] = g.Find(a)
+	}
+	return canon, nil
+}
+
+// Insert adds (or finds) the e-node f(args) and returns its output value.
+// For constructors a fresh e-class is created when the node is new. For
+// primitive-output functions Insert is a lookup that fails if the row is
+// absent; use Set to create such rows.
+func (g *EGraph) Insert(f *Function, args ...Value) (Value, error) {
+	canon, err := g.canonArgs(f, args)
+	if err != nil {
+		return Value{}, err
+	}
+	if out, ok := f.table.lookup(canon); ok {
+		// The row's original identity is returned (not the canonical
+		// class): callers compare via Find/Eq, and proofs stay anchored at
+		// e-node identities.
+		return out, nil
+	}
+	if !f.IsConstructor() && f.Out.Kind != KindUnit {
+		return Value{}, fmt.Errorf("egraph: %s(...) not present (primitive-output functions need Set)", f.Name)
+	}
+	var out Value
+	if f.IsConstructor() {
+		out = g.newClass(f.Out)
+	} else {
+		out = Value{Sort: g.Unit}
+	}
+	f.table.insert(canon, out)
+	f.table.invalidateArgIndex()
+	if g.trackOrig && f.IsConstructor() {
+		if g.createdBy == nil {
+			g.createdBy = make(map[uint32]createdRef)
+		}
+		g.createdBy[uint32(out.Bits)] = createdRef{fn: f, row: len(f.table.rows) - 1}
+	}
+	return out, nil
+}
+
+// LookupRaw finds the output of f(args) without canonicalizing the result
+// — the e-node's original class identity, needed by proof production
+// (Explain walks the proof forest from original IDs).
+func (g *EGraph) LookupRaw(f *Function, args ...Value) (Value, bool) {
+	canon, err := g.canonArgs(f, args)
+	if err != nil {
+		return Value{}, false
+	}
+	out, ok := f.table.lookup(canon)
+	return out, ok
+}
+
+// Lookup finds the output of f(args) without inserting.
+func (g *EGraph) Lookup(f *Function, args ...Value) (Value, bool) {
+	canon, err := g.canonArgs(f, args)
+	if err != nil {
+		return Value{}, false
+	}
+	out, ok := f.table.lookup(canon)
+	if !ok {
+		return Value{}, false
+	}
+	return g.Find(out), true
+}
+
+// Set writes f(args) = out. For primitive-output functions a conflicting
+// row is resolved with the function's merge; for eq-sort-output functions
+// the old and new outputs are unioned (egglog's merge semantics for
+// equivalence sorts).
+func (g *EGraph) Set(f *Function, args []Value, out Value) error {
+	if out.Sort != f.Out {
+		return fmt.Errorf("egraph: %s output: have sort %s, want %s", f.Name, out.Sort, f.Out)
+	}
+	canon, err := g.canonArgs(f, args)
+	if err != nil {
+		return err
+	}
+	out = g.Find(out)
+	key := argsKey(canon)
+	if i, ok := f.table.index[key]; ok {
+		if f.IsConstructor() {
+			merged, err := g.Union(f.table.rows[i].out, out)
+			if err != nil {
+				return fmt.Errorf("egraph: merge %s: %w", f.Name, err)
+			}
+			f.table.rows[i].out = merged
+			return nil
+		}
+		merged, err := f.Merge(f.table.rows[i].out, out)
+		if err != nil {
+			return fmt.Errorf("egraph: merge %s: %w", f.Name, err)
+		}
+		f.table.rows[i].out = merged
+		return nil
+	}
+	f.table.insert(canon, out)
+	f.table.invalidateArgIndex()
+	return nil
+}
+
+// TotalRows counts live rows across every table (constructors, analyses,
+// and relations); the saturation runner uses it for fixpoint detection.
+func (g *EGraph) TotalRows() int {
+	n := 0
+	for _, f := range g.funcs {
+		n += f.table.live
+	}
+	return n
+}
+
+// SetNodeCost installs an extraction-cost override for the specific e-node
+// f(args); this implements the paper's `unstable-cost` action (§6.2).
+// Costs below 1 are clamped to 1 to keep extraction well-founded (a node
+// must cost strictly more than each of its children).
+func (g *EGraph) SetNodeCost(f *Function, args []Value, cost int64) error {
+	if !f.IsConstructor() {
+		return fmt.Errorf("egraph: unstable-cost on non-constructor %s", f.Name)
+	}
+	canon, err := g.canonArgs(f, args)
+	if err != nil {
+		return err
+	}
+	if cost < 1 {
+		cost = 1
+	}
+	if f.costTable == nil {
+		f.costTable = make(map[string]int64)
+	}
+	key := argsKey(canon)
+	if old, ok := f.costTable[key]; ok && old <= cost {
+		return nil // keep the cheaper of the two
+	}
+	f.costTable[key] = cost
+	return nil
+}
+
+// Union merges the e-classes of a and b (both eq-sort values of the same
+// sort) and returns the surviving canonical value.
+func (g *EGraph) Union(a, b Value) (Value, error) {
+	return g.UnionWithReason(a, b, Justification{Kind: "explicit"})
+}
+
+// UnionWithReason is Union carrying provenance for proof production: when
+// explanations are enabled, the justification becomes the label of this
+// merge in the proof forest.
+func (g *EGraph) UnionWithReason(a, b Value, j Justification) (Value, error) {
+	if a.Sort != b.Sort {
+		return Value{}, fmt.Errorf("egraph: union across sorts %s and %s", a.Sort, b.Sort)
+	}
+	if a.Sort.Kind != KindEq {
+		if a.Bits != b.Bits {
+			return Value{}, fmt.Errorf("egraph: union of distinct primitive values of sort %s", a.Sort)
+		}
+		return a, nil
+	}
+	ra, rb := g.uf.Find(uint32(a.Bits)), g.uf.Find(uint32(b.Bits))
+	if ra == rb {
+		return Value{Sort: a.Sort, Bits: uint64(ra)}, nil
+	}
+	g.recordUnion(uint32(a.Bits), uint32(b.Bits), j)
+	root := g.uf.Union(ra, rb)
+	g.unionCount++
+	g.dirty = true
+	return Value{Sort: a.Sort, Bits: uint64(root)}, nil
+}
+
+// UnionCount returns the number of effective unions performed so far; the
+// saturation runner compares it before/after an iteration to detect a
+// fixpoint.
+func (g *EGraph) UnionCount() uint64 { return g.unionCount }
+
+// NumClasses returns the number of live e-classes (canonical roots in use).
+func (g *EGraph) NumClasses() int {
+	seen := make(map[uint32]struct{})
+	for _, f := range g.funcs {
+		if !f.IsConstructor() {
+			continue
+		}
+		for i := range f.table.rows {
+			r := &f.table.rows[i]
+			if r.dead {
+				continue
+			}
+			seen[g.uf.Find(uint32(r.out.Bits))] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// NumNodes returns the number of live e-nodes across all constructor
+// tables.
+func (g *EGraph) NumNodes() int {
+	n := 0
+	for _, f := range g.funcs {
+		if f.IsConstructor() {
+			n += f.table.live
+		}
+	}
+	return n
+}
+
+// ForEachRow calls fn for every live row of f's table in insertion order
+// with canonical args/out. The callback must not modify the graph.
+func (g *EGraph) ForEachRow(f *Function, fn func(args []Value, out Value) bool) {
+	for i := range f.table.rows {
+		r := &f.table.rows[i]
+		if r.dead {
+			continue
+		}
+		if !fn(r.args, r.out) {
+			return
+		}
+	}
+}
+
+// Rebuild restores congruence closure: it re-canonicalizes every row of
+// every table and merges the outputs of rows that become identical, looping
+// until no further unions occur. It returns the number of passes performed.
+func (g *EGraph) Rebuild() int {
+	passes := 0
+	for {
+		passes++
+		changed := false
+		for _, f := range g.funcs {
+			if g.rebuildTable(f) {
+				changed = true
+			}
+			if g.rebuildCostTable(f) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Rows were re-canonicalized; the per-argument match indexes are stale.
+	for _, f := range g.funcs {
+		f.table.invalidateArgIndex()
+	}
+	g.dirty = false
+	return passes
+}
+
+// Clean reports whether no unions happened since the last Rebuild, i.e.
+// every stored row is canonical (the e-matching fast paths rely on this).
+func (g *EGraph) Clean() bool { return !g.dirty }
+
+func (g *EGraph) rebuildTable(f *Function) bool {
+	t := f.table
+	changed := false
+	for i := range t.rows {
+		r := &t.rows[i]
+		if r.dead {
+			continue
+		}
+		stale := false
+		for j, a := range r.args {
+			c := g.Find(a)
+			if c.Bits != a.Bits {
+				r.args[j] = c
+				stale = true
+			}
+		}
+		// r.out is deliberately left at its original identity: callers
+		// canonicalize through Find, and proof production (Explain) is
+		// anchored at original e-node IDs.
+		if !stale {
+			continue
+		}
+		changed = true
+		key := argsKey(r.args)
+		if j, ok := t.index[key]; ok && j != i {
+			// Collision: merge outputs into the existing row, kill this one.
+			other := &t.rows[j]
+			if f.IsConstructor() {
+				just := Justification{Kind: "explicit"}
+				if g.proofs != nil {
+					argsA, argsB := other.orig, r.orig
+					if argsA == nil {
+						argsA = other.args
+					}
+					if argsB == nil {
+						argsB = r.args
+					}
+					just = Justification{
+						Kind:  "congruence",
+						Fn:    f,
+						ArgsA: append([]Value(nil), argsA...),
+						ArgsB: append([]Value(nil), argsB...),
+					}
+				}
+				if _, err := g.UnionWithReason(other.out, r.out, just); err != nil {
+					_ = err // outputs of congruent rows share a sort; cannot fail
+				}
+			} else if f.Out.Kind != KindUnit {
+				merged, err := f.Merge(other.out, r.out)
+				if err == nil {
+					other.out = merged
+				}
+				// A merge error during rebuild means two congruent
+				// applications disagreed; keep the existing value. This can
+				// only happen with MergeMustEqual misuse and is harmless
+				// for the analyses in this repo (they are monotone).
+			}
+			r.dead = true
+			t.live--
+		} else {
+			t.index[key] = i
+		}
+	}
+	return changed
+}
+
+// rebuildCostTable re-canonicalizes cost-override keys; colliding entries
+// keep the cheaper cost.
+func (g *EGraph) rebuildCostTable(f *Function) bool {
+	if len(f.costTable) == 0 {
+		return false
+	}
+	changed := false
+	fresh := make(map[string]int64, len(f.costTable))
+	args := make([]Value, len(f.Params))
+	for key, cost := range f.costTable {
+		decodeArgs(key, f.Params, args)
+		stale := false
+		for i := range args {
+			c := g.Find(args[i])
+			if c.Bits != args[i].Bits {
+				args[i] = c
+				stale = true
+			}
+		}
+		nk := key
+		if stale {
+			nk = argsKey(args)
+			changed = true
+		}
+		if old, ok := fresh[nk]; !ok || cost < old {
+			fresh[nk] = cost
+		}
+	}
+	f.costTable = fresh
+	return changed
+}
+
+// decodeArgs reconstructs the Values encoded in a table key.
+func decodeArgs(key string, params []*Sort, out []Value) {
+	for i := range params {
+		off := i * 8
+		var bits uint64
+		for b := 7; b >= 0; b-- {
+			bits = bits<<8 | uint64(key[off+b])
+		}
+		out[i] = Value{Sort: params[i], Bits: bits}
+	}
+}

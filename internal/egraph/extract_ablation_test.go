@@ -1,0 +1,112 @@
+package egraph
+
+import (
+	"testing"
+)
+
+// TestFirstChoiceVsCostExtractor: after uniting an expensive and a cheap
+// form, the cost-blind extractor keeps the original (first-inserted)
+// expensive node while the cost-guided one switches — quantifying the cost
+// model's contribution (DESIGN.md §5 ablation).
+func TestFirstChoiceVsCostExtractor(t *testing.T) {
+	g := New()
+	expr, _ := g.AddEqSort("Expr")
+	mk := func(name string, cost int64, params ...*Sort) *Function {
+		f, err := g.DeclareFunction(&Function{Name: name, Params: params, Out: expr, Cost: cost})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	leaf := mk("X", 1)
+	div := mk("Div", 18, expr)
+	shr := mk("Shr", 1, expr)
+
+	x, _ := g.Insert(leaf)
+	d, _ := g.Insert(div, x) // inserted first: the "original" program
+	s, _ := g.Insert(shr, x) // discovered by a rewrite
+	g.Union(d, s)
+	g.Rebuild()
+
+	first := NewFirstChoiceExtractor(g)
+	fTerm, fCost, err := first.Extract(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := NewExtractor(g)
+	cTerm, cCost, err := cost.Extract(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fTerm.Head() != "Div" {
+		t.Errorf("first-choice should keep the original Div, got %s", fTerm)
+	}
+	if cTerm.Head() != "Shr" {
+		t.Errorf("cost-guided should pick Shr, got %s", cTerm)
+	}
+	if cCost >= fCost {
+		t.Errorf("cost-guided (%d) should beat first-choice (%d)", cCost, fCost)
+	}
+}
+
+// TestFirstChoiceHandlesCycles: self-referential nodes (from identity-like
+// unions) never trap the cost-blind extractor.
+func TestFirstChoiceHandlesCycles(t *testing.T) {
+	g := New()
+	expr, _ := g.AddEqSort("Expr")
+	num, _ := g.DeclareFunction(&Function{Name: "Num", Params: []*Sort{g.I64}, Out: expr, Cost: 1})
+	id, _ := g.DeclareFunction(&Function{Name: "Id", Params: []*Sort{expr}, Out: expr, Cost: 1})
+
+	n, _ := g.Insert(num, I64Value(g.I64, 7))
+	wrapped, _ := g.Insert(id, n)
+	// Id(x) = x: the class now contains a node referencing itself.
+	g.Union(wrapped, n)
+	g.Rebuild()
+
+	e := NewFirstChoiceExtractor(g)
+	term, _, err := e.Extract(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Either form is fine as long as it is finite; the leaf must appear.
+	if term.String() != "(Num 7)" && term.String() != "(Id (Num 7))" {
+		t.Errorf("unexpected term %s", term)
+	}
+}
+
+func BenchmarkExtractorAblation(b *testing.B) {
+	build := func() (*EGraph, Value) {
+		l := newExprLangQuiet()
+		g := l.g
+		prev, _ := g.Insert(l.Num, I64Value(g.I64, 0))
+		for i := 1; i < 1000; i++ {
+			leaf, _ := g.Insert(l.Num, I64Value(g.I64, int64(i)))
+			m, _ := g.Insert(l.Mul, prev, leaf)   // cost 2
+			alt, _ := g.Insert(l.Shl, prev, leaf) // cost 1 alternative
+			g.Union(m, alt)
+			prev = m
+		}
+		g.Rebuild()
+		return g, prev
+	}
+	b.Run("cost-guided", func(b *testing.B) {
+		g, root := build()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ex := NewExtractor(g)
+			if _, _, err := ex.Extract(root); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("first-choice", func(b *testing.B) {
+		g, root := build()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ex := NewFirstChoiceExtractor(g)
+			if _, _, err := ex.Extract(root); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,170 @@
+package egraph
+
+import (
+	"fmt"
+	"sync"
+)
+
+// MergeFn resolves a conflict when two table rows with the same canonical
+// arguments have different primitive outputs. It returns the value to keep.
+type MergeFn func(old, new Value) (Value, error)
+
+// MergeMustEqual is the default merge for primitive-output functions: a
+// conflicting Set is an error (mirrors egglog's default no-merge behaviour).
+func MergeMustEqual(old, new Value) (Value, error) {
+	if old.Bits != new.Bits {
+		return old, fmt.Errorf("conflicting values for functional dependency: %v vs %v", old.Bits, new.Bits)
+	}
+	return old, nil
+}
+
+// MergeOverwrite keeps the newest value.
+func MergeOverwrite(_, new Value) (Value, error) { return new, nil }
+
+// MergeMinI64 keeps the smaller of two i64 outputs. Used for cost tables
+// and descending-lattice analyses.
+func MergeMinI64(old, new Value) (Value, error) {
+	if new.AsI64() < old.AsI64() {
+		return new, nil
+	}
+	return old, nil
+}
+
+// MergeMaxI64 keeps the larger of two i64 outputs (ascending-lattice
+// analyses such as interval upper bounds).
+func MergeMaxI64(old, new Value) (Value, error) {
+	if new.AsI64() > old.AsI64() {
+		return new, nil
+	}
+	return old, nil
+}
+
+// Function declares an egglog function: a name, parameter sorts, an output
+// sort, and for constructors an extraction cost.
+type Function struct {
+	Name   string
+	Params []*Sort
+	Out    *Sort
+	// Cost is the default extraction cost of e-nodes made by this
+	// constructor. Ignored for non-constructors.
+	Cost int64
+	// Merge resolves output conflicts for primitive-output functions.
+	Merge MergeFn
+	// Unextractable marks helper constructors that extraction must never
+	// choose (egglog's :unextractable).
+	Unextractable bool
+
+	table *table
+	// costTable, lazily created, stores per-row cost overrides installed by
+	// the unstable-cost action. Keyed like the main table.
+	costTable map[string]int64
+}
+
+// IsConstructor reports whether the function builds e-nodes (output is an
+// eq-sort).
+func (f *Function) IsConstructor() bool { return f.Out.Kind == KindEq }
+
+// Arity returns the number of parameters.
+func (f *Function) Arity() int { return len(f.Params) }
+
+func (f *Function) String() string { return f.Name }
+
+// row is one entry of a function table: canonical argument tuple and output.
+// out keeps the identity assigned at insertion (callers canonicalize via
+// Find); orig preserves the as-inserted argument tuple when proof
+// recording is on, so congruence justifications can explain child
+// equalities.
+type row struct {
+	args []Value
+	out  Value
+	dead bool
+	orig []Value
+}
+
+// table stores the rows of one function with an index from the encoded
+// canonical argument tuple to the row slot. Rows are append-only; a row
+// whose canonical key collides with another during rebuilding is marked
+// dead. Iteration order is therefore deterministic (insertion order).
+//
+// argIndex (built lazily per argument position, invalidated by unions and
+// refreshed after Rebuild) maps a canonical argument value to the rows
+// holding it, accelerating partially-bound e-matching joins.
+type table struct {
+	rows  []row
+	index map[string]int
+	live  int
+	// trackOrig preserves as-inserted argument tuples (proof recording).
+	trackOrig bool
+	// argIndexMu guards argIndex: lazy builds can race during the
+	// concurrent match phase.
+	argIndexMu sync.Mutex
+	// argIndex[i] maps canonical Bits of argument i to row slots; nil when
+	// not built or stale.
+	argIndex []map[uint64][]int32
+}
+
+func newTable() *table {
+	return &table{index: make(map[string]int)}
+}
+
+// invalidateArgIndex drops the per-argument indexes (after unions).
+func (t *table) invalidateArgIndex() {
+	t.argIndexMu.Lock()
+	t.argIndex = nil
+	t.argIndexMu.Unlock()
+}
+
+// buildArgIndex constructs the index for argument position i over live
+// rows (which must be canonical, i.e. right after Rebuild). Safe for
+// concurrent callers.
+func (t *table) buildArgIndex(i, arity int) map[uint64][]int32 {
+	t.argIndexMu.Lock()
+	defer t.argIndexMu.Unlock()
+	if t.argIndex == nil {
+		t.argIndex = make([]map[uint64][]int32, arity)
+	}
+	if t.argIndex[i] != nil {
+		return t.argIndex[i]
+	}
+	idx := make(map[uint64][]int32, t.live)
+	for r := range t.rows {
+		row := &t.rows[r]
+		if row.dead {
+			continue
+		}
+		idx[row.args[i].Bits] = append(idx[row.args[i].Bits], int32(r))
+	}
+	t.argIndex[i] = idx
+	return idx
+}
+
+func argsKey(args []Value) string {
+	buf := make([]byte, 0, len(args)*8)
+	for _, a := range args {
+		buf = appendValueBits(buf, a)
+	}
+	return string(buf)
+}
+
+func (t *table) lookup(args []Value) (Value, bool) {
+	i, ok := t.index[argsKey(args)]
+	if !ok {
+		return Value{}, false
+	}
+	return t.rows[i].out, true
+}
+
+// insert adds a row assuming args are canonical and no row with the same
+// key exists.
+func (t *table) insert(args []Value, out Value) {
+	key := argsKey(args)
+	stored := make([]Value, len(args))
+	copy(stored, args)
+	r := row{args: stored, out: out}
+	if t.trackOrig {
+		r.orig = append([]Value(nil), args...)
+	}
+	t.index[key] = len(t.rows)
+	t.rows = append(t.rows, r)
+	t.live++
+}

@@ -1,0 +1,476 @@
+package egraph
+
+import (
+	"fmt"
+)
+
+// Prim is a primitive operation usable in rule premises and actions, such
+// as i64 addition or log2. Apply returns false when the primitive does not
+// apply (e.g. log2 of a non-power-of-two when the rule requires exactness).
+type Prim struct {
+	Name  string
+	Apply func(g *EGraph, args []Value) (Value, bool)
+}
+
+// AtomKind discriminates pattern atoms.
+type AtomKind uint8
+
+// Atom kinds.
+const (
+	// AtomVar refers to a binding slot.
+	AtomVar AtomKind = iota
+	// AtomLit is a concrete value.
+	AtomLit
+)
+
+// Atom is a flat pattern position: a variable slot or a literal value.
+type Atom struct {
+	Kind AtomKind
+	Slot int
+	Lit  Value
+}
+
+// VarAtom returns an atom referring to slot.
+func VarAtom(slot int) Atom { return Atom{Kind: AtomVar, Slot: slot} }
+
+// LitAtom returns an atom holding a concrete value.
+func LitAtom(v Value) Atom { return Atom{Kind: AtomLit, Lit: v} }
+
+// Premise is one conjunct of a rule query.
+type Premise interface{ isPremise() }
+
+// TablePremise matches a row f(Args...) = Out of f's table.
+type TablePremise struct {
+	Fn   *Function
+	Args []Atom
+	Out  Atom
+}
+
+func (*TablePremise) isPremise() {}
+
+// EvalPremise computes Prim(Args...) — all argument variables must be bound
+// by earlier premises — and unifies the result with Out.
+type EvalPremise struct {
+	Prim *Prim
+	Args []Atom
+	Out  Atom
+}
+
+func (*EvalPremise) isPremise() {}
+
+// ATermKind discriminates action-term variants.
+type ATermKind uint8
+
+// Action-term kinds.
+const (
+	// AVar reads a binding slot.
+	AVar ATermKind = iota
+	// ALit is a concrete value.
+	ALit
+	// AApp applies a declared function (inserting an e-node for
+	// constructors).
+	AApp
+	// APrim applies a primitive.
+	APrim
+	// AVec builds a vector value.
+	AVec
+)
+
+// ATerm is a (possibly nested) term evaluated during rule application.
+type ATerm struct {
+	Kind    ATermKind
+	Slot    int       // AVar
+	Lit     Value     // ALit
+	Fn      *Function // AApp
+	Prim    *Prim     // APrim
+	VecSort *Sort     // AVec
+	Args    []*ATerm
+}
+
+// Action is one effect of a rule.
+type Action interface{ isAction() }
+
+// LetAction evaluates T and stores it in Slot for later actions.
+type LetAction struct {
+	Slot int
+	T    *ATerm
+}
+
+func (*LetAction) isAction() {}
+
+// UnionAction unifies the e-classes of A and B.
+type UnionAction struct{ A, B *ATerm }
+
+func (*UnionAction) isAction() {}
+
+// SetAction writes Fn(Args...) = Out in a primitive-output table.
+type SetAction struct {
+	Fn   *Function
+	Args []*ATerm
+	Out  *ATerm
+}
+
+func (*SetAction) isAction() {}
+
+// CostAction installs an extraction-cost override for the e-node
+// Fn(Args...); this is the engine half of the paper's `unstable-cost`.
+type CostAction struct {
+	Fn   *Function
+	Args []*ATerm
+	Cost *ATerm
+}
+
+func (*CostAction) isAction() {}
+
+// InsertAction evaluates T for its side effect (creating e-nodes).
+type InsertAction struct{ T *ATerm }
+
+func (*InsertAction) isAction() {}
+
+// Rule is a compiled egglog rule: when all premises hold under some
+// binding, run the actions under that binding.
+type Rule struct {
+	Name     string
+	Premises []Premise
+	Actions  []Action
+	// NumSlots is the size of the binding array (query variables plus
+	// action lets).
+	NumSlots int
+}
+
+// bindings is the mutable state of one query execution.
+type bindings struct {
+	vals  []Value
+	bound []bool
+}
+
+func newBindings(n int) *bindings {
+	return &bindings{vals: make([]Value, n), bound: make([]bool, n)}
+}
+
+// match unifies an atom with a value; returns (undoSlot, ok) where
+// undoSlot >= 0 means the slot was freshly bound and must be unbound on
+// backtrack. Comparisons canonicalize both sides; fresh bindings keep the
+// value as given, so matched rows contribute their original e-node
+// identities (which proof production preserves into union justifications).
+func (b *bindings) match(g *EGraph, a Atom, v Value) (int, bool) {
+	switch a.Kind {
+	case AtomVar:
+		if b.bound[a.Slot] {
+			return -1, g.Find(b.vals[a.Slot]).Bits == g.Find(v).Bits && b.vals[a.Slot].Sort == v.Sort
+		}
+		b.vals[a.Slot] = v
+		b.bound[a.Slot] = true
+		return a.Slot, true
+	case AtomLit:
+		return -1, a.Lit.Sort == v.Sort && g.Find(a.Lit).Bits == g.Find(v).Bits
+	default:
+		return -1, false
+	}
+}
+
+func (b *bindings) get(g *EGraph, a Atom) (Value, bool) {
+	switch a.Kind {
+	case AtomVar:
+		if !b.bound[a.Slot] {
+			return Value{}, false
+		}
+		return g.Find(b.vals[a.Slot]), true
+	case AtomLit:
+		return g.Find(a.Lit), true
+	default:
+		return Value{}, false
+	}
+}
+
+// Match runs the rule's query and calls yield with a snapshot of the
+// bindings for every match. yield returning false stops the search.
+func (g *EGraph) Match(r *Rule, yield func(binds []Value) bool) error {
+	b := newBindings(r.NumSlots)
+	err := g.matchFrom(r, 0, b, yield)
+	if err == errStopMatch {
+		return nil
+	}
+	return err
+}
+
+var errStopMatch = fmt.Errorf("egraph: match stopped")
+
+func (g *EGraph) matchFrom(r *Rule, i int, b *bindings, yield func([]Value) bool) error {
+	if i == len(r.Premises) {
+		snap := make([]Value, len(b.vals))
+		copy(snap, b.vals)
+		if !yield(snap) {
+			return errStopMatch
+		}
+		return nil
+	}
+	switch p := r.Premises[i].(type) {
+	case *TablePremise:
+		return g.matchTable(r, i, p, b, yield)
+	case *EvalPremise:
+		return g.matchEval(r, i, p, b, yield)
+	default:
+		return fmt.Errorf("egraph: unknown premise type %T", p)
+	}
+}
+
+func (g *EGraph) matchTable(r *Rule, i int, p *TablePremise, b *bindings, yield func([]Value) bool) error {
+	// Fast path: all argument atoms already determined — direct lookup.
+	allBound := true
+	for _, a := range p.Args {
+		if a.Kind == AtomVar && !b.bound[a.Slot] {
+			allBound = false
+			break
+		}
+	}
+	if allBound {
+		args := make([]Value, len(p.Args))
+		for j, a := range p.Args {
+			v, _ := b.get(g, a)
+			args[j] = v
+		}
+		out, ok := g.LookupRaw(p.Fn, args...)
+		if !ok {
+			return nil
+		}
+		undo, ok := b.match(g, p.Out, out)
+		if !ok {
+			return nil
+		}
+		err := g.matchFrom(r, i+1, b, yield)
+		if undo >= 0 {
+			b.bound[undo] = false
+		}
+		return err
+	}
+
+	// General path: scan the table, or — when the graph is clean (rows
+	// canonical) and some argument is already determined — only the rows
+	// sharing that argument, via the per-position index. This turns the
+	// two-premise joins of rules like matmul associativity from quadratic
+	// scans into hash lookups.
+	t := p.Fn.table
+	var candidates []int32
+	useIndex := false
+	if g.Clean() {
+		for j, a := range p.Args {
+			v, ok := b.get(g, a)
+			if !ok {
+				continue
+			}
+			idx := t.buildArgIndex(j, len(p.Args))
+			candidates = idx[v.Bits]
+			useIndex = true
+			break
+		}
+	}
+	// Snapshot the current length: actions of other rules must not be
+	// visible mid-match (the runner matches before applying, but Match is
+	// also usable standalone).
+	n := len(t.rows)
+	if useIndex {
+		n = len(candidates)
+	}
+	var undos []int
+rows:
+	for k := 0; k < n; k++ {
+		ri := k
+		if useIndex {
+			ri = int(candidates[k])
+		}
+		row := &t.rows[ri]
+		if row.dead {
+			continue
+		}
+		undos = undos[:0]
+		for j, a := range p.Args {
+			undo, ok := b.match(g, a, g.Find(row.args[j]))
+			if undo >= 0 {
+				undos = append(undos, undo)
+			}
+			if !ok {
+				for _, u := range undos {
+					b.bound[u] = false
+				}
+				continue rows
+			}
+			_ = j
+		}
+		undo, ok := b.match(g, p.Out, row.out)
+		if undo >= 0 {
+			undos = append(undos, undo)
+		}
+		if ok {
+			if err := g.matchFrom(r, i+1, b, yield); err != nil {
+				for _, u := range undos {
+					b.bound[u] = false
+				}
+				return err
+			}
+		}
+		for _, u := range undos {
+			b.bound[u] = false
+		}
+	}
+	return nil
+}
+
+func (g *EGraph) matchEval(r *Rule, i int, p *EvalPremise, b *bindings, yield func([]Value) bool) error {
+	args := make([]Value, len(p.Args))
+	for j, a := range p.Args {
+		v, ok := b.get(g, a)
+		if !ok {
+			return fmt.Errorf("egraph: rule %s: primitive %s argument %d unbound (premise ordering)", r.Name, p.Prim.Name, j)
+		}
+		args[j] = v
+	}
+	out, ok := p.Prim.Apply(g, args)
+	if !ok {
+		return nil // primitive did not apply; no match through this premise
+	}
+	undo, ok := b.match(g, p.Out, g.Find(out))
+	if !ok {
+		if undo >= 0 {
+			b.bound[undo] = false
+		}
+		return nil
+	}
+	err := g.matchFrom(r, i+1, b, yield)
+	if undo >= 0 {
+		b.bound[undo] = false
+	}
+	return err
+}
+
+// EvalATerm evaluates an action term under the given bindings, inserting
+// e-nodes for constructor applications.
+func (g *EGraph) EvalATerm(t *ATerm, binds []Value) (Value, error) {
+	switch t.Kind {
+	case AVar:
+		return g.Find(binds[t.Slot]), nil
+	case ALit:
+		return g.Find(t.Lit), nil
+	case AApp:
+		args := make([]Value, len(t.Args))
+		for i, a := range t.Args {
+			v, err := g.EvalATerm(a, binds)
+			if err != nil {
+				return Value{}, err
+			}
+			args[i] = v
+		}
+		return g.Insert(t.Fn, args...)
+	case APrim:
+		args := make([]Value, len(t.Args))
+		for i, a := range t.Args {
+			v, err := g.EvalATerm(a, binds)
+			if err != nil {
+				return Value{}, err
+			}
+			args[i] = v
+		}
+		out, ok := t.Prim.Apply(g, args)
+		if !ok {
+			return Value{}, fmt.Errorf("egraph: primitive %s failed in action", t.Prim.Name)
+		}
+		return out, nil
+	case AVec:
+		elems := make([]Value, len(t.Args))
+		for i, a := range t.Args {
+			v, err := g.EvalATerm(a, binds)
+			if err != nil {
+				return Value{}, err
+			}
+			elems[i] = v
+		}
+		return g.InternVec(t.VecSort, elems), nil
+	default:
+		return Value{}, fmt.Errorf("egraph: unknown action term kind %d", t.Kind)
+	}
+}
+
+// ApplyActions runs the rule's actions under one match's bindings.
+func (g *EGraph) ApplyActions(r *Rule, binds []Value) error {
+	for _, act := range r.Actions {
+		switch a := act.(type) {
+		case *LetAction:
+			v, err := g.EvalATerm(a.T, binds)
+			if err != nil {
+				return err
+			}
+			binds[a.Slot] = v
+		case *UnionAction:
+			// Variable endpoints keep the matched row's original identity
+			// (bindings are stored raw) so union justifications anchor at
+			// the exact e-nodes the rule related.
+			va, err := g.evalUnionEndpoint(a.A, binds)
+			if err != nil {
+				return err
+			}
+			vb, err := g.evalUnionEndpoint(a.B, binds)
+			if err != nil {
+				return err
+			}
+			if _, err := g.UnionWithReason(va, vb, Justification{Kind: "rule", Rule: r.Name}); err != nil {
+				return fmt.Errorf("egraph: rule %s: %w", r.Name, err)
+			}
+		case *SetAction:
+			args, err := g.evalATerms(a.Args, binds)
+			if err != nil {
+				return err
+			}
+			out, err := g.EvalATerm(a.Out, binds)
+			if err != nil {
+				return err
+			}
+			if err := g.Set(a.Fn, args, out); err != nil {
+				return fmt.Errorf("egraph: rule %s: %w", r.Name, err)
+			}
+		case *CostAction:
+			args, err := g.evalATerms(a.Args, binds)
+			if err != nil {
+				return err
+			}
+			cv, err := g.EvalATerm(a.Cost, binds)
+			if err != nil {
+				return err
+			}
+			if cv.Sort.Kind != KindI64 {
+				return fmt.Errorf("egraph: rule %s: unstable-cost expects i64 cost, got %s", r.Name, cv.Sort)
+			}
+			if err := g.SetNodeCost(a.Fn, args, cv.AsI64()); err != nil {
+				return fmt.Errorf("egraph: rule %s: %w", r.Name, err)
+			}
+		case *InsertAction:
+			if _, err := g.EvalATerm(a.T, binds); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("egraph: unknown action type %T", act)
+		}
+	}
+	return nil
+}
+
+func (g *EGraph) evalATerms(ts []*ATerm, binds []Value) ([]Value, error) {
+	out := make([]Value, len(ts))
+	for i, t := range ts {
+		v, err := g.EvalATerm(t, binds)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// evalUnionEndpoint evaluates a union endpoint preserving the original
+// e-node identity of plain variable references (EvalATerm canonicalizes,
+// which is right everywhere else but would blur proof anchors).
+func (g *EGraph) evalUnionEndpoint(t *ATerm, binds []Value) (Value, error) {
+	if t.Kind == AVar {
+		return binds[t.Slot], nil
+	}
+	return g.EvalATerm(t, binds)
+}

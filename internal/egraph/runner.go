@@ -1,0 +1,187 @@
+package egraph
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// RunConfig bounds a saturation run. Zero fields get defaults.
+type RunConfig struct {
+	// IterLimit caps saturation iterations (default 30).
+	IterLimit int
+	// NodeLimit stops the run when the e-graph exceeds this many e-nodes
+	// (default 100_000).
+	NodeLimit int
+	// MatchLimit caps matches collected per rule per iteration
+	// (default 500_000).
+	MatchLimit int
+	// TimeLimit stops the run after this wall-clock duration
+	// (default 30s).
+	TimeLimit time.Duration
+}
+
+func (c RunConfig) withDefaults() RunConfig {
+	if c.IterLimit == 0 {
+		c.IterLimit = 30
+	}
+	if c.NodeLimit == 0 {
+		c.NodeLimit = 100_000
+	}
+	if c.MatchLimit == 0 {
+		c.MatchLimit = 500_000
+	}
+	if c.TimeLimit == 0 {
+		c.TimeLimit = 30 * time.Second
+	}
+	return c
+}
+
+// StopReason explains why a saturation run ended.
+type StopReason string
+
+// Stop reasons.
+const (
+	StopSaturated  StopReason = "saturated"
+	StopIterLimit  StopReason = "iteration limit"
+	StopNodeLimit  StopReason = "node limit"
+	StopTimeLimit  StopReason = "time limit"
+	StopRuleError  StopReason = "rule error"
+	StopMatchLimit StopReason = "match limit"
+)
+
+// RunReport summarizes a saturation run.
+type RunReport struct {
+	Iterations int
+	Stop       StopReason
+	Nodes      int
+	Classes    int
+	Elapsed    time.Duration
+	// PerIter records (matches applied, nodes after) per iteration for
+	// scalability studies.
+	PerIter []IterStats
+	// Err holds the first rule error, if Stop == StopRuleError.
+	Err error
+}
+
+// IterStats records one saturation iteration.
+type IterStats struct {
+	Matches int
+	Nodes   int
+	Unions  uint64
+}
+
+// Saturated reports whether the run reached a fixed point.
+func (r RunReport) Saturated() bool { return r.Stop == StopSaturated }
+
+type ruleMatches struct {
+	rule    *Rule
+	matches [][]Value
+}
+
+// Run saturates the e-graph under the given rules: each iteration collects
+// all matches of all rules against the current graph, applies every match's
+// actions, then rebuilds congruence. The run stops at a fixed point (no new
+// unions and no new nodes) or when a limit is hit.
+func (g *EGraph) Run(rules []*Rule, cfg RunConfig) RunReport {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+	report := RunReport{Stop: StopIterLimit}
+
+	for iter := 0; iter < cfg.IterLimit; iter++ {
+		if time.Since(start) > cfg.TimeLimit {
+			report.Stop = StopTimeLimit
+			break
+		}
+		// Matching relies on canonical rows (for safe concurrent reads and
+		// the per-argument indexes); restore congruence if a caller left
+		// the graph dirty.
+		if !g.Clean() {
+			g.Rebuild()
+		}
+		unionsBefore := g.unionCount
+		rowsBefore := g.TotalRows()
+
+		// Phase 1: match all rules against the frozen view, one goroutine
+		// per rule. After Rebuild every stored value is canonical, so
+		// matching only reads the graph (pool interning and index builds
+		// are internally locked).
+		pending := make([]ruleMatches, len(rules))
+		errs := make([]error, len(rules))
+		truncs := make([]bool, len(rules))
+		var wg sync.WaitGroup
+		for i, r := range rules {
+			wg.Add(1)
+			go func(i int, r *Rule) {
+				defer wg.Done()
+				rm := ruleMatches{rule: r}
+				errs[i] = g.Match(r, func(binds []Value) bool {
+					rm.matches = append(rm.matches, binds)
+					if len(rm.matches) >= cfg.MatchLimit {
+						truncs[i] = true
+						return false
+					}
+					return true
+				})
+				pending[i] = rm
+			}(i, r)
+		}
+		wg.Wait()
+		truncated := false
+		for i, err := range errs {
+			if err != nil {
+				report.Stop = StopRuleError
+				report.Err = fmt.Errorf("matching rule %s: %w", rules[i].Name, err)
+				report.finish(g, start)
+				return report
+			}
+			truncated = truncated || truncs[i]
+		}
+
+		// Phase 2: apply.
+		applied := 0
+		for _, rm := range pending {
+			for _, binds := range rm.matches {
+				if err := g.ApplyActions(rm.rule, binds); err != nil {
+					report.Stop = StopRuleError
+					report.Err = fmt.Errorf("applying rule %s: %w", rm.rule.Name, err)
+					report.finish(g, start)
+					return report
+				}
+				applied++
+			}
+		}
+
+		// Phase 3: restore congruence.
+		g.Rebuild()
+
+		report.Iterations = iter + 1
+		nodesAfter := g.NumNodes()
+		report.PerIter = append(report.PerIter, IterStats{
+			Matches: applied,
+			Nodes:   nodesAfter,
+			Unions:  g.unionCount - unionsBefore,
+		})
+
+		if truncated {
+			report.Stop = StopMatchLimit
+			break
+		}
+		if g.unionCount == unionsBefore && g.TotalRows() == rowsBefore {
+			report.Stop = StopSaturated
+			break
+		}
+		if nodesAfter > cfg.NodeLimit {
+			report.Stop = StopNodeLimit
+			break
+		}
+	}
+	report.finish(g, start)
+	return report
+}
+
+func (r *RunReport) finish(g *EGraph, start time.Time) {
+	r.Nodes = g.NumNodes()
+	r.Classes = g.NumClasses()
+	r.Elapsed = time.Since(start)
+}

@@ -1,0 +1,198 @@
+// Package egraph implements the equality-saturation engine underlying the
+// egglog dialect interpreter.
+//
+// The design follows egglog's relational model: every user-declared function
+// is a table mapping argument tuples to an output value. Functions whose
+// output sort is an equivalence sort ("eq-sort") are term constructors and
+// their outputs are e-class IDs managed by a union-find; functions with a
+// primitive output sort (i64, f64, String, bool, vectors) are ordinary
+// tables updated with Set. Congruence closure is restored by Rebuild, which
+// re-canonicalizes every table row and merges rows that collide.
+package egraph
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// SortKind discriminates the kinds of sorts known to the engine.
+type SortKind uint8
+
+// The available sort kinds.
+const (
+	// KindEq is a user-declared equivalence sort: values are e-class IDs
+	// subject to union.
+	KindEq SortKind = iota
+	// KindI64 is the builtin 64-bit integer primitive.
+	KindI64
+	// KindF64 is the builtin 64-bit float primitive.
+	KindF64
+	// KindString is the builtin string primitive (interned).
+	KindString
+	// KindBool is the builtin boolean primitive.
+	KindBool
+	// KindVec is a vector of values of the element sort (hash-consed).
+	KindVec
+	// KindUnit is the output sort of functions used purely as relations.
+	KindUnit
+)
+
+func (k SortKind) String() string {
+	switch k {
+	case KindEq:
+		return "eqsort"
+	case KindI64:
+		return "i64"
+	case KindF64:
+		return "f64"
+	case KindString:
+		return "String"
+	case KindBool:
+		return "bool"
+	case KindVec:
+		return "Vec"
+	case KindUnit:
+		return "Unit"
+	default:
+		return fmt.Sprintf("SortKind(%d)", uint8(k))
+	}
+}
+
+// Sort describes a value domain. Sorts are created once per EGraph and
+// compared by pointer identity.
+type Sort struct {
+	Name string
+	Kind SortKind
+	// Elem is the element sort for KindVec sorts, nil otherwise.
+	Elem *Sort
+}
+
+func (s *Sort) String() string { return s.Name }
+
+// IsPrimitive reports whether values of this sort carry data rather than
+// e-class identity.
+func (s *Sort) IsPrimitive() bool { return s.Kind != KindEq }
+
+// Value is a single engine value: an e-class ID for eq-sorts or a payload
+// for primitive sorts. The interpretation of Bits depends on Sort.Kind:
+//
+//	KindEq     e-class ID (union-find element)
+//	KindI64    int64 bits
+//	KindF64    math.Float64bits
+//	KindString index into the graph's string pool
+//	KindBool   0 or 1
+//	KindVec    index into the graph's vector pool
+//	KindUnit   always 0
+type Value struct {
+	Sort *Sort
+	Bits uint64
+}
+
+// I64Value wraps an int64 as a Value of sort s (s must be KindI64).
+func I64Value(s *Sort, v int64) Value { return Value{Sort: s, Bits: uint64(v)} }
+
+// F64Value wraps a float64 as a Value of sort s (s must be KindF64).
+func F64Value(s *Sort, v float64) Value { return Value{Sort: s, Bits: math.Float64bits(v)} }
+
+// BoolValue wraps a bool as a Value of sort s (s must be KindBool).
+func BoolValue(s *Sort, v bool) Value {
+	var b uint64
+	if v {
+		b = 1
+	}
+	return Value{Sort: s, Bits: b}
+}
+
+// AsI64 returns the int64 payload.
+func (v Value) AsI64() int64 { return int64(v.Bits) }
+
+// AsF64 returns the float64 payload.
+func (v Value) AsF64() float64 { return math.Float64frombits(v.Bits) }
+
+// AsBool returns the boolean payload.
+func (v Value) AsBool() bool { return v.Bits != 0 }
+
+// ClassID returns the e-class identifier of an eq-sort value.
+func (v Value) ClassID() uint32 { return uint32(v.Bits) }
+
+// stringPool interns strings so Value equality on KindString is bit
+// equality. Interning is mutex-guarded because rule matching runs
+// concurrently and string primitives may intern new values.
+type stringPool struct {
+	mu     sync.Mutex
+	byText map[string]uint32
+	texts  []string
+}
+
+func newStringPool() *stringPool {
+	return &stringPool{byText: make(map[string]uint32)}
+}
+
+func (p *stringPool) intern(s string) uint32 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if id, ok := p.byText[s]; ok {
+		return id
+	}
+	id := uint32(len(p.texts))
+	p.texts = append(p.texts, s)
+	p.byText[s] = id
+	return id
+}
+
+func (p *stringPool) get(id uint32) string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.texts[id]
+}
+
+// vecPool hash-conses vectors of values. Two vectors with identical
+// (canonical) contents share an index, so Value equality on KindVec is bit
+// equality for canonical values. Interning is mutex-guarded for the
+// concurrent match phase (vec-of premises intern new vectors).
+type vecPool struct {
+	mu    sync.Mutex
+	byKey map[string]uint32
+	vecs  [][]Value
+}
+
+func newVecPool() *vecPool {
+	return &vecPool{byKey: make(map[string]uint32)}
+}
+
+func vecKey(elems []Value) string {
+	buf := make([]byte, 0, len(elems)*8)
+	for _, e := range elems {
+		buf = appendValueBits(buf, e)
+	}
+	return string(buf)
+}
+
+func appendValueBits(buf []byte, v Value) []byte {
+	b := v.Bits
+	return append(buf,
+		byte(b), byte(b>>8), byte(b>>16), byte(b>>24),
+		byte(b>>32), byte(b>>40), byte(b>>48), byte(b>>56))
+}
+
+func (p *vecPool) intern(elems []Value) uint32 {
+	key := vecKey(elems)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if id, ok := p.byKey[key]; ok {
+		return id
+	}
+	id := uint32(len(p.vecs))
+	stored := make([]Value, len(elems))
+	copy(stored, elems)
+	p.vecs = append(p.vecs, stored)
+	p.byKey[key] = id
+	return id
+}
+
+func (p *vecPool) get(id uint32) []Value {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.vecs[id]
+}

@@ -1,0 +1,163 @@
+package interp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CostModel assigns a latency (in abstract cycles, calibrated to published
+// Apple M1 Firestorm latencies) to each executed operation. The paper's
+// speedups come from changing the dynamic instruction mix — integer
+// division to shifts (§7.2), square root plus division to the fast inverse
+// sqrt (§7.3), exponentiation to Horner multiplications (§7.5), fewer
+// scalar multiplications via matmul reassociation (§7.4) — so charging per
+// executed op reproduces exactly the effect native execution would show.
+type CostModel struct {
+	// PerOp maps op names to cycles per execution. Ops absent from the map
+	// charge DefaultCost.
+	PerOp map[string]int64
+	// DefaultCost covers unlisted ops.
+	DefaultCost int64
+	// LoopIterationCost charges loop bookkeeping (increment, compare,
+	// branch) per scf.for iteration.
+	LoopIterationCost int64
+	// CallCost charges call/return overhead per func.call.
+	CallCost int64
+	// MatmulMACCost charges one multiply-accumulate inside linalg.matmul;
+	// total matmul cost is a*b*c multiply-accumulates.
+	MatmulMACCost int64
+}
+
+// DefaultCostModel returns the latency table used by every benchmark in
+// this repository. The values follow the M1 Firestorm core:
+// integer add/shift/logic 1 cycle, integer multiply 3, integer divide 18ish,
+// FP add/mul ~3-4 cycles (we charge 3), FP divide ~10, sqrt ~12, and libm
+// pow as a ~45-cycle call. Loads/stores through tensors charge 2.
+func DefaultCostModel() *CostModel {
+	return &CostModel{
+		DefaultCost:       1,
+		LoopIterationCost: 2,
+		CallCost:          6,
+		MatmulMACCost:     4, // one FP multiply-accumulate (fused)
+		PerOp: map[string]int64{
+			"arith.constant": 0,
+			"arith.addi":     1,
+			"arith.subi":     1,
+			"arith.muli":     3,
+			"arith.divsi":    18,
+			"arith.remsi":    18,
+			"arith.shli":     1,
+			"arith.shrsi":    1,
+			"arith.andi":     1,
+			"arith.ori":      1,
+			"arith.xori":     1,
+			"arith.maxsi":    1,
+			"arith.minsi":    1,
+			"arith.cmpi":     1,
+			"arith.select":   1,
+
+			"arith.addf":     3,
+			"arith.subf":     3,
+			"arith.mulf":     3,
+			"arith.divf":     10,
+			"arith.negf":     1,
+			"arith.cmpf":     2,
+			"arith.maximumf": 2,
+			"arith.minimumf": 2,
+
+			"arith.sitofp":     2,
+			"arith.fptosi":     2,
+			"arith.index_cast": 0,
+			"arith.extsi":      0,
+			"arith.extui":      0,
+			"arith.trunci":     0,
+			"arith.truncf":     1,
+			"arith.extf":       1,
+
+			"math.sqrt":  12,
+			"math.rsqrt": 12,
+			"math.absf":  1,
+			"math.sin":   40,
+			"math.cos":   40,
+			"math.exp":   40,
+			"math.log":   40,
+			"math.tanh":  45,
+			"math.powf":  45,
+			"math.fma":   3,
+
+			"tensor.extract": 2,
+			"tensor.insert":  2,
+			"tensor.empty":   0,
+			"tensor.dim":     0,
+			"tensor.splat":   0, // charged per element separately
+
+			"linalg.matmul": 0, // charged per multiply-accumulate
+			"linalg.fill":   0, // charged per element
+
+			"scf.yield":   0,
+			"scf.if":      1, // branch
+			"scf.for":     0, // charged per iteration
+			"func.return": 0,
+			"func.call":   0, // charged via CallCost
+		},
+	}
+}
+
+// OpCost returns the cycles charged for one execution of the named op.
+func (c *CostModel) OpCost(name string) int64 {
+	if v, ok := c.PerOp[name]; ok {
+		return v
+	}
+	return c.DefaultCost
+}
+
+// Stats accumulates execution counters during interpretation.
+type Stats struct {
+	// Cycles is the total charged latency.
+	Cycles int64
+	// OpCounts tallies executions per op name.
+	OpCounts map[string]int64
+	// OpCycles tallies charged cycles per op name (loop/call overhead is
+	// charged to the owning op).
+	OpCycles map[string]int64
+}
+
+// NewStats returns empty counters.
+func NewStats() *Stats {
+	return &Stats{OpCounts: make(map[string]int64), OpCycles: make(map[string]int64)}
+}
+
+func (s *Stats) charge(name string, cycles int64) {
+	s.Cycles += cycles
+	s.OpCounts[name]++
+	s.OpCycles[name] += cycles
+}
+
+// Count returns the execution count of an op name.
+func (s *Stats) Count(name string) int64 { return s.OpCounts[name] }
+
+// Profile renders a per-op table sorted by charged cycles, with the share
+// of total cost — the interpreter's answer to "where do the cycles go".
+func (s *Stats) Profile() string {
+	names := make([]string, 0, len(s.OpCounts))
+	for n := range s.OpCounts {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if s.OpCycles[names[i]] != s.OpCycles[names[j]] {
+			return s.OpCycles[names[i]] > s.OpCycles[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %14s %14s %7s\n", "op", "executions", "cycles", "share")
+	for _, n := range names {
+		share := 0.0
+		if s.Cycles > 0 {
+			share = 100 * float64(s.OpCycles[n]) / float64(s.Cycles)
+		}
+		fmt.Fprintf(&b, "%-24s %14d %14d %6.1f%%\n", n, s.OpCounts[n], s.OpCycles[n], share)
+	}
+	return b.String()
+}

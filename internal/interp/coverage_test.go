@@ -1,0 +1,287 @@
+package interp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dialegg/internal/dialects"
+	"dialegg/internal/mlir"
+)
+
+func TestEvalCmpITable(t *testing.T) {
+	cases := []struct {
+		pred    mlir.CmpIPredicate
+		a, b    int64
+		want    bool
+		wantRev bool // predicate applied to (b, a)
+	}{
+		{mlir.CmpIEQ, 3, 3, true, true},
+		{mlir.CmpIEQ, 3, 4, false, false},
+		{mlir.CmpINE, 3, 4, true, true},
+		{mlir.CmpISLT, -5, 3, true, false},
+		{mlir.CmpISLE, 3, 3, true, true},
+		{mlir.CmpISGT, 4, -9, true, false},
+		{mlir.CmpISGE, 4, 4, true, true},
+		{mlir.CmpIULT, -1, 1, false, true}, // -1 is huge unsigned
+		{mlir.CmpIULE, 1, 1, true, true},
+		{mlir.CmpIUGT, -1, 1, true, false},
+		{mlir.CmpIUGE, -1, -1, true, true},
+	}
+	for _, c := range cases {
+		if got := evalCmpI(c.pred, c.a, c.b); got != c.want {
+			t.Errorf("cmpi %s(%d,%d) = %t, want %t", c.pred, c.a, c.b, got, c.want)
+		}
+		if got := evalCmpI(c.pred, c.b, c.a); got != c.wantRev {
+			t.Errorf("cmpi %s(%d,%d) = %t, want %t", c.pred, c.b, c.a, got, c.wantRev)
+		}
+	}
+}
+
+func TestEvalCmpFTable(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		pred mlir.CmpFPredicate
+		a, b float64
+		want bool
+	}{
+		{mlir.CmpFAlwaysFalse, 1, 2, false},
+		{mlir.CmpFAlwaysTrue, 1, 2, true},
+		{mlir.CmpFOEQ, 2, 2, true},
+		{mlir.CmpFOEQ, nan, nan, false}, // ordered: NaN fails
+		{mlir.CmpFUEQ, nan, 2, true},    // unordered: NaN passes
+		{mlir.CmpFOGT, 3, 2, true},
+		{mlir.CmpFOGE, 2, 2, true},
+		{mlir.CmpFOLT, 1, 2, true},
+		{mlir.CmpFOLE, 2, 2, true},
+		{mlir.CmpFONE, 1, 2, true},
+		{mlir.CmpFONE, nan, 2, false},
+		{mlir.CmpFUNE, nan, 2, true},
+		{mlir.CmpFORD, 1, 2, true},
+		{mlir.CmpFORD, nan, 2, false},
+		{mlir.CmpFUNO, nan, 2, true},
+		{mlir.CmpFUNO, 1, 2, false},
+		{mlir.CmpFULT, nan, 2, true},
+		{mlir.CmpFUGT, 1, nan, true},
+	}
+	for _, c := range cases {
+		if got := evalCmpF(c.pred, c.a, c.b); got != c.want {
+			t.Errorf("cmpf %s(%g,%g) = %t, want %t", c.pred, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDivRemARM(t *testing.T) {
+	if got := divARM(math.MinInt64, -1); got != math.MinInt64 {
+		t.Errorf("MinInt64 / -1 = %d, want MinInt64 (AArch64 wrap)", got)
+	}
+	if got := remARM(math.MinInt64, -1); got != 0 {
+		t.Errorf("MinInt64 %% -1 = %d, want 0", got)
+	}
+	if got := divARM(-21, 2); got != -10 {
+		t.Errorf("-21/2 = %d, want -10 (truncation toward zero)", got)
+	}
+	if got := remARM(-21, 2); got != -1 {
+		t.Errorf("-21%%2 = %d, want -1", got)
+	}
+}
+
+// Property: fast inverse sqrt is within 0.2% of the true value across the
+// float32 range that matters.
+func TestFastInvSqrtAccuracy(t *testing.T) {
+	f := func(raw uint32) bool {
+		// Map to positive normal floats in [2^-60, 2^60].
+		x := 0.001 + float64(raw%1_000_000)*0.37
+		got := FastInvSqrt(x)
+		want := 1 / math.Sqrt(x)
+		return math.Abs(got-want)/want < 0.002
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelectAndMinMax(t *testing.T) {
+	src := `
+func.func @clamp(%x: i64, %lo: i64, %hi: i64) -> i64 {
+  %a = arith.maxsi %x, %lo : i64
+  %b = arith.minsi %a, %hi : i64
+  func.return %b : i64
+}`
+	res, _ := run(t, src, "clamp", IntValue(42), IntValue(0), IntValue(10))
+	if res[0].Int() != 10 {
+		t.Errorf("clamp(42,0,10) = %d", res[0].Int())
+	}
+	res, _ = run(t, src, "clamp", IntValue(-3), IntValue(0), IntValue(10))
+	if res[0].Int() != 0 {
+		t.Errorf("clamp(-3,0,10) = %d", res[0].Int())
+	}
+}
+
+func TestSelectRuntime(t *testing.T) {
+	src := `
+func.func @pick(%c: i1, %a: f64, %b: f64) -> f64 {
+  %r = arith.select %c, %a, %b : f64
+  func.return %r : f64
+}`
+	res, _ := run(t, src, "pick", BoolValue(true), FloatValue(1.5), FloatValue(2.5))
+	if res[0].Float() != 1.5 {
+		t.Errorf("select true = %g", res[0].Float())
+	}
+	res, _ = run(t, src, "pick", BoolValue(false), FloatValue(1.5), FloatValue(2.5))
+	if res[0].Float() != 2.5 {
+		t.Errorf("select false = %g", res[0].Float())
+	}
+}
+
+func TestSplatFillDim(t *testing.T) {
+	src := `
+func.func @sf(%v: f64) -> f64 {
+  %c0 = arith.constant 0 : index
+  %c1 = arith.constant 1 : index
+  %t = tensor.splat %v : tensor<3x4xf64>
+  %e = tensor.empty() : tensor<3x4xf64>
+  %f = linalg.fill ins(%v : f64) outs(%e : tensor<3x4xf64>) -> tensor<3x4xf64>
+  %d0 = tensor.dim %t, %c0 : tensor<3x4xf64>
+  %d1 = tensor.dim %f, %c1 : tensor<3x4xf64>
+  %a = tensor.extract %t[%c0, %c1] : tensor<3x4xf64>
+  %b = tensor.extract %f[%c1, %c0] : tensor<3x4xf64>
+  %s = arith.addf %a, %b : f64
+  func.return %s : f64
+}`
+	res, stats := run(t, src, "sf", FloatValue(2.25))
+	if res[0].Float() != 4.5 {
+		t.Errorf("splat+fill read = %g, want 4.5", res[0].Float())
+	}
+	// splat and fill charge per element: 12 each.
+	if stats.Count("tensor.splat") != 1 || stats.Count("linalg.fill") != 1 {
+		t.Errorf("op counts: %v", stats.OpCounts)
+	}
+}
+
+func TestDenseConstantExec(t *testing.T) {
+	src := `
+func.func @d() -> f64 {
+  %c0 = arith.constant 0 : index
+  %t = arith.constant dense<1.5> : tensor<2x2xf64>
+  %e = tensor.extract %t[%c0, %c0] : tensor<2x2xf64>
+  func.return %e : f64
+}`
+	res, _ := run(t, src, "d")
+	if res[0].Float() != 1.5 {
+		t.Errorf("dense read = %g", res[0].Float())
+	}
+}
+
+func TestIntTensorPath(t *testing.T) {
+	src := `
+func.func @it(%t: tensor<4xi64>, %i: index) -> i64 {
+  %c7 = arith.constant 7 : i64
+  %u = tensor.insert %c7 into %t[%i] : tensor<4xi64>
+  %e = tensor.extract %u[%i] : tensor<4xi64>
+  func.return %e : i64
+}`
+	tt := NewIntTensor(4)
+	res, _ := run(t, src, "it", TensorValue(tt), IntValue(2))
+	if res[0].Int() != 7 {
+		t.Errorf("int tensor read = %d", res[0].Int())
+	}
+}
+
+func TestMaxOpsGuard(t *testing.T) {
+	src := `
+func.func @spin(%n: index) -> i64 {
+  %c0 = arith.constant 0 : index
+  %c1 = arith.constant 1 : index
+  %zero = arith.constant 0 : i64
+  %one = arith.constant 1 : i64
+  %r = scf.for %i = %c0 to %n step %c1 iter_args(%acc = %zero) -> (i64) {
+    %next = arith.addi %acc, %one : i64
+    scf.yield %next : i64
+  }
+  func.return %r : i64
+}`
+	m, err := mlir.ParseModule(src, registryForTest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(m)
+	in.MaxOps = 100
+	if _, err := in.Call("spin", IntValue(1_000_000)); err == nil {
+		t.Error("MaxOps guard did not fire")
+	}
+}
+
+func TestStatsPerOpCycles(t *testing.T) {
+	cm := DefaultCostModel()
+	if cm.OpCost("arith.divsi") <= cm.OpCost("arith.shrsi") {
+		t.Error("division must cost more than shift")
+	}
+	if cm.OpCost("math.powf") <= cm.OpCost("arith.mulf") {
+		t.Error("powf must cost more than mulf")
+	}
+	if cm.OpCost("unknown.op") != cm.DefaultCost {
+		t.Error("unknown ops should charge the default")
+	}
+}
+
+func registryForTest() *mlir.Registry {
+	return dialects.NewRegistry()
+}
+
+func TestWhileLoopExecution(t *testing.T) {
+	simple := `
+func.func @countdown(%n: i64) -> i64 {
+  %zero = arith.constant 0 : i64
+  %r = scf.while (%x = %n) : (i64) -> i64 {
+    %cond = arith.cmpi sgt, %x, %zero : i64
+    scf.condition(%cond) %x : i64
+  } do {
+  ^bb0(%y: i64):
+    %one = arith.constant 1 : i64
+    %next = arith.subi %y, %one : i64
+    scf.yield %next : i64
+  }
+  func.return %r : i64
+}`
+	res, stats := run(t, simple, "countdown", IntValue(10))
+	if res[0].Int() != 0 {
+		t.Errorf("countdown(10) = %d, want 0", res[0].Int())
+	}
+	// The loop body ran 10 times: 10 subi executions.
+	if stats.Count("arith.subi") != 10 {
+		t.Errorf("subi executed %d times, want 10", stats.Count("arith.subi"))
+	}
+	// Negative input: condition false immediately, body never runs.
+	res, stats = run(t, simple, "countdown", IntValue(-5))
+	if res[0].Int() != -5 {
+		t.Errorf("countdown(-5) = %d, want -5 (pass-through)", res[0].Int())
+	}
+	if stats.Count("arith.subi") != 0 {
+		t.Errorf("body ran %d times for false condition", stats.Count("arith.subi"))
+	}
+}
+
+// TestWhileMultiInit: a two-variable while loop (value + step counter).
+func TestWhileMultiInit(t *testing.T) {
+	src := `
+func.func @steps(%n0: i64) -> i64 {
+  %zero = arith.constant 0 : i64
+  %one = arith.constant 1 : i64
+  %two = arith.constant 2 : i64
+  %r0, %r1 = scf.while (%n = %n0, %steps = %zero) : (i64, i64) -> (i64, i64) {
+    %cond = arith.cmpi sgt, %n, %one : i64
+    scf.condition(%cond) %n, %steps : i64, i64
+  } do {
+  ^bb0(%n: i64, %steps: i64):
+    %half = arith.divsi %n, %two : i64
+    %s2 = arith.addi %steps, %one : i64
+    scf.yield %half, %s2 : i64, i64
+  }
+  func.return %r1 : i64
+}`
+	res, _ := run(t, src, "steps", IntValue(64))
+	if res[0].Int() != 6 { // 64 -> 32 -> 16 -> 8 -> 4 -> 2 -> 1
+		t.Errorf("steps(64) = %d, want 6", res[0].Int())
+	}
+}

@@ -1,0 +1,603 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+
+	"dialegg/internal/mlir"
+)
+
+// Interpreter executes functions of one module.
+type Interpreter struct {
+	module *mlir.Module
+	// Cost is the latency model; nil disables cycle accounting.
+	Cost *CostModel
+	// Stats accumulates counters across calls.
+	Stats *Stats
+	// MaxOps aborts runaway executions (default 20 billion).
+	MaxOps int64
+
+	executed int64
+	// intrinsics are callee implementations for functions the module does
+	// not define (the paper's @fast_inv_sqrt).
+	intrinsics map[string]func(args []Value) ([]Value, error)
+}
+
+// New returns an interpreter over m with the default cost model.
+func New(m *mlir.Module) *Interpreter {
+	in := &Interpreter{
+		module: m,
+		Cost:   DefaultCostModel(),
+		Stats:  NewStats(),
+		MaxOps: 20_000_000_000,
+	}
+	in.intrinsics = map[string]func(args []Value) ([]Value, error){
+		"fast_inv_sqrt": func(args []Value) ([]Value, error) {
+			if len(args) != 1 {
+				return nil, fmt.Errorf("interp: fast_inv_sqrt expects 1 argument")
+			}
+			return []Value{FloatValue(FastInvSqrt(args[0].Float()))}, nil
+		},
+	}
+	return in
+}
+
+// FastInvSqrt is the Quake III fast inverse square root (float32, one
+// Newton iteration), referenced by the paper's §7.3 rewrite target.
+func FastInvSqrt(x float64) float64 {
+	x32 := float32(x)
+	i := math.Float32bits(x32)
+	i = 0x5f3759df - (i >> 1)
+	y := math.Float32frombits(i)
+	y = y * (1.5 - 0.5*x32*y*y)
+	return float64(y)
+}
+
+// Call executes the named func.func with the given arguments.
+func (in *Interpreter) Call(name string, args ...Value) ([]Value, error) {
+	f, ok := in.module.FindFunc(name)
+	if !ok {
+		if intr, ok := in.intrinsics[name]; ok {
+			return intr(args)
+		}
+		return nil, fmt.Errorf("interp: function @%s not found", name)
+	}
+	entry := f.Regions[0].First()
+	if len(args) != len(entry.Args) {
+		return nil, fmt.Errorf("interp: @%s expects %d arguments, got %d", name, len(entry.Args), len(args))
+	}
+	env := make(map[*mlir.Value]Value, 64)
+	for i, a := range args {
+		if a.IsTensor() {
+			a.tensor.Freeze()
+		}
+		env[entry.Args[i]] = a
+	}
+	res, isReturn, err := in.evalBlock(entry, env)
+	if err != nil {
+		return nil, fmt.Errorf("interp: @%s: %w", name, err)
+	}
+	if !isReturn {
+		return nil, fmt.Errorf("interp: @%s fell off the end without func.return", name)
+	}
+	return res, nil
+}
+
+// evalBlock runs a block's ops. It returns the terminator's operands and
+// whether the terminator was func.return (vs scf.yield/none).
+func (in *Interpreter) evalBlock(b *mlir.Block, env map[*mlir.Value]Value) ([]Value, bool, error) {
+	for _, op := range b.Ops {
+		switch op.Name {
+		case "func.return":
+			vals, err := in.operandValues(op, env)
+			return vals, true, err
+		case "scf.yield":
+			vals, err := in.operandValues(op, env)
+			return vals, false, err
+		default:
+			if err := in.evalOp(op, env); err != nil {
+				return nil, false, err
+			}
+		}
+	}
+	return nil, false, nil
+}
+
+func (in *Interpreter) operandValues(op *mlir.Operation, env map[*mlir.Value]Value) ([]Value, error) {
+	out := make([]Value, len(op.Operands))
+	for i, o := range op.Operands {
+		v, ok := env[o]
+		if !ok {
+			return nil, fmt.Errorf("%s: operand %d (%s) has no runtime value", op.Name, i, o)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func (in *Interpreter) charge(op *mlir.Operation, extra int64) {
+	if in.Cost == nil {
+		return
+	}
+	in.Stats.charge(op.Name, in.Cost.OpCost(op.Name)+extra)
+}
+
+func (in *Interpreter) step() error {
+	in.executed++
+	if in.executed > in.MaxOps {
+		return fmt.Errorf("execution exceeded %d operations", in.MaxOps)
+	}
+	return nil
+}
+
+// evalOp executes one non-terminator operation, writing results into env.
+func (in *Interpreter) evalOp(op *mlir.Operation, env map[*mlir.Value]Value) error {
+	if err := in.step(); err != nil {
+		return err
+	}
+	args, err := in.operandValues(op, env)
+	if err != nil {
+		return err
+	}
+	set := func(i int, v Value) { env[op.Results[i]] = v }
+
+	switch op.Name {
+	case "arith.constant":
+		a, _ := op.GetAttr("value")
+		switch attr := a.(type) {
+		case mlir.IntegerAttr:
+			set(0, IntValue(attr.Value))
+		case mlir.FloatAttr:
+			set(0, FloatValue(attr.Value))
+		case mlir.DenseAttr:
+			rt, ok := attr.Type.(mlir.RankedTensorType)
+			if !ok {
+				return fmt.Errorf("arith.constant: dense over non-tensor type %s", attr.Type)
+			}
+			switch s := attr.Splat.(type) {
+			case mlir.FloatAttr:
+				t := NewFloatTensor(rt.Shape...)
+				for i := range t.F {
+					t.F[i] = s.Value
+				}
+				set(0, TensorValue(t))
+			case mlir.IntegerAttr:
+				t := NewIntTensor(rt.Shape...)
+				for i := range t.I {
+					t.I[i] = s.Value
+				}
+				set(0, TensorValue(t))
+			default:
+				return fmt.Errorf("arith.constant: unsupported splat %s", s)
+			}
+		default:
+			return fmt.Errorf("arith.constant: unsupported value attribute %s", a)
+		}
+		in.charge(op, 0)
+		return nil
+
+	// Integer binary ops.
+	case "arith.addi":
+		set(0, IntValue(args[0].Int()+args[1].Int()))
+	case "arith.subi":
+		set(0, IntValue(args[0].Int()-args[1].Int()))
+	case "arith.muli":
+		set(0, IntValue(args[0].Int()*args[1].Int()))
+	case "arith.divsi":
+		if args[1].Int() == 0 {
+			return fmt.Errorf("arith.divsi: division by zero")
+		}
+		set(0, IntValue(divARM(args[0].Int(), args[1].Int())))
+	case "arith.remsi":
+		if args[1].Int() == 0 {
+			return fmt.Errorf("arith.remsi: division by zero")
+		}
+		set(0, IntValue(remARM(args[0].Int(), args[1].Int())))
+	case "arith.shli":
+		set(0, IntValue(args[0].Int()<<uint(args[1].Int()&63)))
+	case "arith.shrsi":
+		set(0, IntValue(args[0].Int()>>uint(args[1].Int()&63)))
+	case "arith.andi":
+		set(0, IntValue(args[0].Int()&args[1].Int()))
+	case "arith.ori":
+		set(0, IntValue(args[0].Int()|args[1].Int()))
+	case "arith.xori":
+		set(0, IntValue(args[0].Int()^args[1].Int()))
+	case "arith.maxsi":
+		set(0, IntValue(max(args[0].Int(), args[1].Int())))
+	case "arith.minsi":
+		set(0, IntValue(min(args[0].Int(), args[1].Int())))
+
+	// Float binary ops.
+	case "arith.addf":
+		set(0, FloatValue(args[0].Float()+args[1].Float()))
+	case "arith.subf":
+		set(0, FloatValue(args[0].Float()-args[1].Float()))
+	case "arith.mulf":
+		set(0, FloatValue(args[0].Float()*args[1].Float()))
+	case "arith.divf":
+		set(0, FloatValue(args[0].Float()/args[1].Float()))
+	case "arith.maximumf":
+		set(0, FloatValue(math.Max(args[0].Float(), args[1].Float())))
+	case "arith.minimumf":
+		set(0, FloatValue(math.Min(args[0].Float(), args[1].Float())))
+	case "arith.negf":
+		set(0, FloatValue(-args[0].Float()))
+
+	// Comparisons and select.
+	case "arith.cmpi":
+		pa, _ := op.GetAttr("predicate")
+		pred := mlir.CmpIPredicate(pa.(mlir.IntegerAttr).Value)
+		set(0, BoolValue(evalCmpI(pred, args[0].Int(), args[1].Int())))
+	case "arith.cmpf":
+		pa, _ := op.GetAttr("predicate")
+		pred := mlir.CmpFPredicate(pa.(mlir.IntegerAttr).Value)
+		set(0, BoolValue(evalCmpF(pred, args[0].Float(), args[1].Float())))
+	case "arith.select":
+		if args[0].Bool() {
+			set(0, args[1])
+		} else {
+			set(0, args[2])
+		}
+
+	// Casts.
+	case "arith.sitofp":
+		set(0, FloatValue(float64(args[0].Int())))
+	case "arith.fptosi":
+		set(0, IntValue(int64(args[0].Float())))
+	case "arith.index_cast", "arith.extsi", "arith.extui", "arith.trunci":
+		set(0, args[0])
+	case "arith.truncf", "arith.extf":
+		set(0, args[0])
+
+	// Math.
+	case "math.sqrt":
+		set(0, FloatValue(math.Sqrt(args[0].Float())))
+	case "math.rsqrt":
+		set(0, FloatValue(1/math.Sqrt(args[0].Float())))
+	case "math.absf":
+		set(0, FloatValue(math.Abs(args[0].Float())))
+	case "math.sin":
+		set(0, FloatValue(math.Sin(args[0].Float())))
+	case "math.cos":
+		set(0, FloatValue(math.Cos(args[0].Float())))
+	case "math.exp":
+		set(0, FloatValue(math.Exp(args[0].Float())))
+	case "math.log":
+		set(0, FloatValue(math.Log(args[0].Float())))
+	case "math.tanh":
+		set(0, FloatValue(math.Tanh(args[0].Float())))
+	case "math.powf":
+		set(0, FloatValue(math.Pow(args[0].Float(), args[1].Float())))
+	case "math.fma":
+		set(0, FloatValue(args[0].Float()*args[1].Float()+args[2].Float()))
+
+	// Tensor ops.
+	case "tensor.empty":
+		v, err := zeroValueFor(op.Results[0].Typ)
+		if err != nil {
+			return err
+		}
+		set(0, v)
+	case "tensor.splat":
+		rt := op.Results[0].Typ.(mlir.RankedTensorType)
+		if mlir.IsFloat(rt.Elem) {
+			t := NewFloatTensor(rt.Shape...)
+			for i := range t.F {
+				t.F[i] = args[0].Float()
+			}
+			set(0, TensorValue(t))
+		} else {
+			t := NewIntTensor(rt.Shape...)
+			for i := range t.I {
+				t.I[i] = args[0].Int()
+			}
+			set(0, TensorValue(t))
+		}
+		in.charge(op, numElems(rt.Shape))
+		return nil
+	case "tensor.dim":
+		t := args[0].Tensor()
+		d := args[1].Int()
+		if d < 0 || int(d) >= len(t.Shape) {
+			return fmt.Errorf("tensor.dim: dimension %d out of range", d)
+		}
+		set(0, IntValue(t.Shape[d]))
+	case "tensor.extract":
+		t := args[0].Tensor()
+		idx := make([]int64, len(args)-1)
+		for i := 1; i < len(args); i++ {
+			idx[i-1] = args[i].Int()
+		}
+		off, err := t.offset(idx)
+		if err != nil {
+			return fmt.Errorf("tensor.extract: %w", err)
+		}
+		if t.IsFloat() {
+			set(0, FloatValue(t.F[off]))
+		} else {
+			set(0, IntValue(t.I[off]))
+		}
+	case "tensor.insert":
+		dst := args[1].Tensor().mutable()
+		idx := make([]int64, len(args)-2)
+		for i := 2; i < len(args); i++ {
+			idx[i-2] = args[i].Int()
+		}
+		off, err := dst.offset(idx)
+		if err != nil {
+			return fmt.Errorf("tensor.insert: %w", err)
+		}
+		if dst.IsFloat() {
+			dst.F[off] = args[0].Float()
+		} else {
+			dst.I[off] = args[0].Int()
+		}
+		set(0, TensorValue(dst))
+
+	// Linalg.
+	case "linalg.matmul":
+		a, b := args[0].Tensor(), args[1].Tensor()
+		out := args[2].Tensor().mutable()
+		m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
+		if b.Shape[0] != k || out.Shape[0] != m || out.Shape[1] != n {
+			return fmt.Errorf("linalg.matmul: shape mismatch %v x %v -> %v", a.Shape, b.Shape, out.Shape)
+		}
+		if a.IsFloat() {
+			matmulF64(a.F, b.F, out.F, m, k, n)
+		} else {
+			matmulI64(a.I, b.I, out.I, m, k, n)
+		}
+		set(0, TensorValue(out))
+		in.charge(op, m*k*n*in.Cost.MatmulMACCost)
+		return nil
+	case "linalg.fill":
+		out := args[1].Tensor().mutable()
+		if out.IsFloat() {
+			for i := range out.F {
+				out.F[i] = args[0].Float()
+			}
+		} else {
+			for i := range out.I {
+				out.I[i] = args[0].Int()
+			}
+		}
+		set(0, TensorValue(out))
+		in.charge(op, out.NumElements())
+		return nil
+
+	// Control flow.
+	case "scf.if":
+		branch := 0
+		if !args[0].Bool() {
+			branch = 1
+		}
+		in.charge(op, 0)
+		if branch >= len(op.Regions) {
+			return nil // condition false, no else: nothing to do
+		}
+		vals, isReturn, err := in.evalBlock(op.Regions[branch].First(), env)
+		if err != nil {
+			return err
+		}
+		if isReturn {
+			return fmt.Errorf("scf.if: func.return inside if is unsupported")
+		}
+		for i, v := range vals {
+			set(i, v)
+		}
+		return nil
+
+	case "scf.for":
+		lb, ub, step := args[0].Int(), args[1].Int(), args[2].Int()
+		if step <= 0 {
+			return fmt.Errorf("scf.for: non-positive step %d", step)
+		}
+		body := op.Regions[0].First()
+		iters := append([]Value(nil), args[3:]...)
+		for i := lb; i < ub; i += step {
+			if err := in.step(); err != nil {
+				return err
+			}
+			env[body.Args[0]] = IntValue(i)
+			for j, v := range iters {
+				env[body.Args[j+1]] = v
+			}
+			vals, isReturn, err := in.evalBlock(body, env)
+			if err != nil {
+				return err
+			}
+			if isReturn {
+				return fmt.Errorf("scf.for: func.return inside loop is unsupported")
+			}
+			iters = vals
+			if in.Cost != nil {
+				in.Stats.Cycles += in.Cost.LoopIterationCost
+			}
+		}
+		for i, v := range iters {
+			set(i, v)
+		}
+		in.charge(op, 0)
+		return nil
+
+	case "scf.while":
+		before := op.Regions[0].First()
+		after := op.Regions[1].First()
+		iters := append([]Value(nil), args...)
+		for {
+			if err := in.step(); err != nil {
+				return err
+			}
+			for i, v := range iters {
+				env[before.Args[i]] = v
+			}
+			// The before region ends with scf.condition; run its body ops
+			// and read the terminator explicitly.
+			for _, inner := range before.Ops[:len(before.Ops)-1] {
+				if err := in.evalOp(inner, env); err != nil {
+					return err
+				}
+			}
+			condOp := before.Terminator()
+			condVals, err := in.operandValues(condOp, env)
+			if err != nil {
+				return err
+			}
+			if in.Cost != nil {
+				in.Stats.Cycles += in.Cost.LoopIterationCost
+			}
+			if !condVals[0].Bool() {
+				for i, v := range condVals[1:] {
+					set(i, v)
+				}
+				in.charge(op, 0)
+				return nil
+			}
+			for i, v := range condVals[1:] {
+				env[after.Args[i]] = v
+			}
+			vals, isReturn, err := in.evalBlock(after, env)
+			if err != nil {
+				return err
+			}
+			if isReturn {
+				return fmt.Errorf("scf.while: func.return inside loop is unsupported")
+			}
+			iters = vals
+		}
+
+	case "func.call":
+		calleeAttr, _ := op.GetAttr("callee")
+		callee := calleeAttr.(mlir.SymbolRefAttr).Symbol
+		res, err := in.Call(callee, args...)
+		if err != nil {
+			return err
+		}
+		if len(res) != len(op.Results) {
+			return fmt.Errorf("func.call @%s: got %d results, want %d", callee, len(res), len(op.Results))
+		}
+		for i, v := range res {
+			set(i, v)
+		}
+		if in.Cost != nil {
+			in.Stats.Cycles += in.Cost.CallCost
+		}
+		in.charge(op, 0)
+		return nil
+
+	default:
+		return fmt.Errorf("interp: unsupported operation %s", op.Name)
+	}
+
+	in.charge(op, 0)
+	return nil
+}
+
+// divARM divides with AArch64 semantics: MinInt64 / -1 wraps to MinInt64
+// instead of trapping (Go would panic). The paper's M1 behaves this way.
+func divARM(a, b int64) int64 {
+	if a == math.MinInt64 && b == -1 {
+		return math.MinInt64
+	}
+	return a / b
+}
+
+// remARM is the matching remainder: MinInt64 % -1 is 0 on AArch64.
+func remARM(a, b int64) int64 {
+	if a == math.MinInt64 && b == -1 {
+		return 0
+	}
+	return a % b
+}
+
+func matmulF64(a, b, out []float64, m, k, n int64) {
+	for i := int64(0); i < m; i++ {
+		for j := int64(0); j < n; j++ {
+			var s float64
+			for p := int64(0); p < k; p++ {
+				s += a[i*k+p] * b[p*n+j]
+			}
+			out[i*n+j] = s
+		}
+	}
+}
+
+func matmulI64(a, b, out []int64, m, k, n int64) {
+	for i := int64(0); i < m; i++ {
+		for j := int64(0); j < n; j++ {
+			var s int64
+			for p := int64(0); p < k; p++ {
+				s += a[i*k+p] * b[p*n+j]
+			}
+			out[i*n+j] = s
+		}
+	}
+}
+
+func evalCmpI(pred mlir.CmpIPredicate, a, b int64) bool {
+	switch pred {
+	case mlir.CmpIEQ:
+		return a == b
+	case mlir.CmpINE:
+		return a != b
+	case mlir.CmpISLT:
+		return a < b
+	case mlir.CmpISLE:
+		return a <= b
+	case mlir.CmpISGT:
+		return a > b
+	case mlir.CmpISGE:
+		return a >= b
+	case mlir.CmpIULT:
+		return uint64(a) < uint64(b)
+	case mlir.CmpIULE:
+		return uint64(a) <= uint64(b)
+	case mlir.CmpIUGT:
+		return uint64(a) > uint64(b)
+	case mlir.CmpIUGE:
+		return uint64(a) >= uint64(b)
+	default:
+		return false
+	}
+}
+
+func evalCmpF(pred mlir.CmpFPredicate, a, b float64) bool {
+	ord := !math.IsNaN(a) && !math.IsNaN(b)
+	switch pred {
+	case mlir.CmpFAlwaysFalse:
+		return false
+	case mlir.CmpFAlwaysTrue:
+		return true
+	case mlir.CmpFORD:
+		return ord
+	case mlir.CmpFUNO:
+		return !ord
+	case mlir.CmpFOEQ:
+		return ord && a == b
+	case mlir.CmpFOGT:
+		return ord && a > b
+	case mlir.CmpFOGE:
+		return ord && a >= b
+	case mlir.CmpFOLT:
+		return ord && a < b
+	case mlir.CmpFOLE:
+		return ord && a <= b
+	case mlir.CmpFONE:
+		return ord && a != b
+	case mlir.CmpFUEQ:
+		return !ord || a == b
+	case mlir.CmpFUGT:
+		return !ord || a > b
+	case mlir.CmpFUGE:
+		return !ord || a >= b
+	case mlir.CmpFULT:
+		return !ord || a < b
+	case mlir.CmpFULE:
+		return !ord || a <= b
+	case mlir.CmpFUNE:
+		return !ord || a != b
+	default:
+		return false
+	}
+}

@@ -1,0 +1,305 @@
+package interp
+
+import (
+	"math"
+	"testing"
+
+	"dialegg/internal/dialects"
+	"dialegg/internal/mlir"
+)
+
+func run(t *testing.T, src, fn string, args ...Value) ([]Value, *Stats) {
+	t.Helper()
+	m, err := mlir.ParseModule(src, dialects.NewRegistry())
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	in := New(m)
+	res, err := in.Call(fn, args...)
+	if err != nil {
+		t.Fatalf("call @%s: %v", fn, err)
+	}
+	return res, in.Stats
+}
+
+func TestArithScalar(t *testing.T) {
+	src := `
+func.func @f(%a: i64, %b: i64) -> i64 {
+  %s = arith.addi %a, %b : i64
+  %m = arith.muli %s, %b : i64
+  %d = arith.divsi %m, %a : i64
+  func.return %d : i64
+}`
+	res, _ := run(t, src, "f", IntValue(4), IntValue(6))
+	if got := res[0].Int(); got != 15 { // ((4+6)*6)/4
+		t.Errorf("result = %d, want 15", got)
+	}
+}
+
+func TestClassicListing1(t *testing.T) {
+	src := `
+func.func @classic(%a: i64) -> i64 {
+  %c2 = arith.constant 2 : i64
+  %a2 = arith.muli %a, %c2 : i64
+  %a_2 = arith.divsi %a2, %c2 : i64
+  func.return %a_2 : i64
+}`
+	res, stats := run(t, src, "classic", IntValue(21))
+	if res[0].Int() != 21 {
+		t.Errorf("(21*2)/2 = %d", res[0].Int())
+	}
+	if stats.Count("arith.divsi") != 1 || stats.Count("arith.muli") != 1 {
+		t.Errorf("op counts wrong: %+v", stats.OpCounts)
+	}
+	// Cost: divsi 18 + muli 3 + constant 0 = 21 cycles.
+	if stats.Cycles != 21 {
+		t.Errorf("cycles = %d, want 21", stats.Cycles)
+	}
+}
+
+func TestSqrtAbsBothBranches(t *testing.T) {
+	src := `
+func.func @sqrt_abs(%x: f32) -> f32 {
+  %zero = arith.constant 0.0 : f32
+  %cond = arith.cmpf oge, %x, %zero : f32
+  %sqrt = scf.if %cond -> (f32) {
+    %s = math.sqrt %x fastmath<fast> : f32
+    scf.yield %s : f32
+  } else {
+    %neg = arith.negf %x : f32
+    %s = math.sqrt %neg : f32
+    scf.yield %s : f32
+  }
+  func.return %sqrt : f32
+}`
+	res, _ := run(t, src, "sqrt_abs", FloatValue(9))
+	if res[0].Float() != 3 {
+		t.Errorf("sqrt_abs(9) = %g", res[0].Float())
+	}
+	res, _ = run(t, src, "sqrt_abs", FloatValue(-16))
+	if res[0].Float() != 4 {
+		t.Errorf("sqrt_abs(-16) = %g", res[0].Float())
+	}
+}
+
+func TestForLoopIterArgs(t *testing.T) {
+	src := `
+func.func @sum_squares(%n: index) -> i64 {
+  %c0 = arith.constant 0 : index
+  %c1 = arith.constant 1 : index
+  %zero = arith.constant 0 : i64
+  %r = scf.for %i = %c0 to %n step %c1 iter_args(%acc = %zero) -> (i64) {
+    %iv = arith.index_cast %i : index to i64
+    %sq = arith.muli %iv, %iv : i64
+    %next = arith.addi %acc, %sq : i64
+    scf.yield %next : i64
+  }
+  func.return %r : i64
+}`
+	res, stats := run(t, src, "sum_squares", IntValue(10))
+	if res[0].Int() != 285 { // 0+1+4+...+81
+		t.Errorf("sum of squares = %d, want 285", res[0].Int())
+	}
+	if stats.Count("arith.muli") != 10 {
+		t.Errorf("muli executed %d times, want 10", stats.Count("arith.muli"))
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	src := `
+func.func @grid(%n: index) -> i64 {
+  %c0 = arith.constant 0 : index
+  %c1 = arith.constant 1 : index
+  %zero = arith.constant 0 : i64
+  %one = arith.constant 1 : i64
+  %r = scf.for %i = %c0 to %n step %c1 iter_args(%a = %zero) -> (i64) {
+    %inner = scf.for %j = %c0 to %n step %c1 iter_args(%b = %a) -> (i64) {
+      %next = arith.addi %b, %one : i64
+      scf.yield %next : i64
+    }
+    scf.yield %inner : i64
+  }
+  func.return %r : i64
+}`
+	res, _ := run(t, src, "grid", IntValue(7))
+	if res[0].Int() != 49 {
+		t.Errorf("grid(7) = %d, want 49", res[0].Int())
+	}
+}
+
+func TestTensorReadWrite(t *testing.T) {
+	src := `
+func.func @touch(%t: tensor<3x3xf64>) -> f64 {
+  %c0 = arith.constant 0 : index
+  %c1 = arith.constant 1 : index
+  %v = arith.constant 7.5 : f64
+  %u = tensor.insert %v into %t[%c0, %c1] : tensor<3x3xf64>
+  %e = tensor.extract %u[%c0, %c1] : tensor<3x3xf64>
+  func.return %e : f64
+}`
+	tt := NewFloatTensor(3, 3)
+	res, _ := run(t, src, "touch", TensorValue(tt))
+	if res[0].Float() != 7.5 {
+		t.Errorf("read back %g, want 7.5", res[0].Float())
+	}
+	// The argument tensor is frozen: the caller's copy must be unchanged.
+	if v, _ := tt.GetFloat(0, 1); v != 0 {
+		t.Errorf("frozen argument mutated: %g", v)
+	}
+}
+
+func TestMatmulExecution(t *testing.T) {
+	src := `
+func.func @mm(%A: tensor<2x3xf64>, %B: tensor<3x2xf64>) -> tensor<2x2xf64> {
+  %e = tensor.empty() : tensor<2x2xf64>
+  %r = linalg.matmul ins(%A, %B : tensor<2x3xf64>, tensor<3x2xf64>) outs(%e : tensor<2x2xf64>) -> tensor<2x2xf64>
+  func.return %r : tensor<2x2xf64>
+}`
+	a := NewFloatTensor(2, 3)
+	copy(a.F, []float64{1, 2, 3, 4, 5, 6})
+	b := NewFloatTensor(3, 2)
+	copy(b.F, []float64{7, 8, 9, 10, 11, 12})
+	res, stats := run(t, src, "mm", TensorValue(a), TensorValue(b))
+	got := res[0].Tensor()
+	want := []float64{58, 64, 139, 154}
+	for i, w := range want {
+		if got.F[i] != w {
+			t.Errorf("out[%d] = %g, want %g", i, got.F[i], w)
+		}
+	}
+	// Matmul cycles: 2*3*2 MACs * 4 cycles = 48.
+	if stats.Cycles != 48 {
+		t.Errorf("cycles = %d, want 48", stats.Cycles)
+	}
+}
+
+func TestFastInvSqrtIntrinsic(t *testing.T) {
+	src := `
+func.func @inv(%x: f32) -> f32 {
+  %r = func.call @fast_inv_sqrt(%x) : (f32) -> f32
+  func.return %r : f32
+}`
+	res, _ := run(t, src, "inv", FloatValue(4))
+	// The Quake approximation is within ~0.2% after one Newton step.
+	if math.Abs(res[0].Float()-0.5) > 0.002 {
+		t.Errorf("fast_inv_sqrt(4) = %g, want ~0.5", res[0].Float())
+	}
+}
+
+func TestUserDefinedCall(t *testing.T) {
+	src := `
+func.func @double(%x: i64) -> i64 {
+  %c2 = arith.constant 2 : i64
+  %r = arith.muli %x, %c2 : i64
+  func.return %r : i64
+}
+func.func @quad(%x: i64) -> i64 {
+  %a = func.call @double(%x) : (i64) -> i64
+  %b = func.call @double(%a) : (i64) -> i64
+  func.return %b : i64
+}`
+	res, _ := run(t, src, "quad", IntValue(5))
+	if res[0].Int() != 20 {
+		t.Errorf("quad(5) = %d", res[0].Int())
+	}
+}
+
+func TestDivisionByZeroError(t *testing.T) {
+	src := `
+func.func @f(%a: i64) -> i64 {
+  %c0 = arith.constant 0 : i64
+  %r = arith.divsi %a, %c0 : i64
+  func.return %r : i64
+}`
+	m, err := mlir.ParseModule(src, dialects.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(m).Call("f", IntValue(1)); err == nil {
+		t.Error("expected division-by-zero error")
+	}
+}
+
+func TestOutOfBoundsError(t *testing.T) {
+	src := `
+func.func @f(%t: tensor<2xf64>, %i: index) -> f64 {
+  %e = tensor.extract %t[%i] : tensor<2xf64>
+  func.return %e : f64
+}`
+	m, err := mlir.ParseModule(src, dialects.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(m).Call("f", TensorValue(NewFloatTensor(2)), IntValue(5)); err == nil {
+		t.Error("expected out-of-bounds error")
+	}
+}
+
+func TestMissingFunction(t *testing.T) {
+	m, err := mlir.ParseModule(`func.func @f() { func.return }`, dialects.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(m).Call("nope"); err == nil {
+		t.Error("expected missing-function error")
+	}
+}
+
+// TestDivVsShiftCycles verifies the cost model makes shifts cheaper than
+// division — the mechanism behind the image-conversion speedup.
+func TestDivVsShiftCycles(t *testing.T) {
+	div := `
+func.func @d(%x: i64) -> i64 {
+  %c256 = arith.constant 256 : i64
+  %r = arith.divsi %x, %c256 : i64
+  func.return %r : i64
+}`
+	shr := `
+func.func @s(%x: i64) -> i64 {
+  %c8 = arith.constant 8 : i64
+  %r = arith.shrsi %x, %c8 : i64
+  func.return %r : i64
+}`
+	resD, statsD := run(t, div, "d", IntValue(1024))
+	resS, statsS := run(t, shr, "s", IntValue(1024))
+	if resD[0].Int() != resS[0].Int() {
+		t.Fatalf("div %d != shr %d", resD[0].Int(), resS[0].Int())
+	}
+	if statsS.Cycles >= statsD.Cycles {
+		t.Errorf("shift (%d cycles) should be cheaper than div (%d cycles)", statsS.Cycles, statsD.Cycles)
+	}
+}
+
+func TestChecksum(t *testing.T) {
+	tt := NewFloatTensor(2, 2)
+	copy(tt.F, []float64{1, 2, 3, 4})
+	if tt.Checksum() != 10 {
+		t.Errorf("checksum = %g", tt.Checksum())
+	}
+}
+
+func BenchmarkInterpScalarLoop(b *testing.B) {
+	src := `
+func.func @loop(%n: index) -> i64 {
+  %c0 = arith.constant 0 : index
+  %c1 = arith.constant 1 : index
+  %zero = arith.constant 0 : i64
+  %r = scf.for %i = %c0 to %n step %c1 iter_args(%acc = %zero) -> (i64) {
+    %iv = arith.index_cast %i : index to i64
+    %next = arith.addi %acc, %iv : i64
+    scf.yield %next : i64
+  }
+  func.return %r : i64
+}`
+	m, err := mlir.ParseModule(src, dialects.NewRegistry())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		in := New(m)
+		if _, err := in.Call("loop", IntValue(10000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package mlir
+
+import "testing"
+
+// fuzzRegistry registers a minimal op so the fuzzer can reach deeper
+// parser states without importing the dialects package (import cycle).
+func fuzzRegistry() *Registry {
+	r := NewRegistry()
+	r.Register(&OpDef{
+		Name: "t.ret",
+		Parse: func(p *Parser, st *OpParseState) (*Operation, error) {
+			return NewOperation("t.ret", nil, nil), nil
+		},
+	})
+	return r
+}
+
+// FuzzParseModule: the MLIR parser must never panic, and accepted modules
+// must print and re-parse.
+func FuzzParseModule(f *testing.F) {
+	seeds := []string{
+		"func.func @f() { func.return }",
+		`%r = "a.b"(%x) : (i64) -> i64`,
+		"module { }",
+		"func.func @g(%x: tensor<3x?xf64>) -> f32 { }",
+		`"d.o"() ({ "d.i"() : () -> () }) {k = 1 : i64} : () -> ()`,
+		"%0 = arith.constant dense<1.5> : tensor<2xf64>",
+		"t.ret",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	reg := fuzzRegistry()
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := ParseModule(src, reg)
+		if err != nil {
+			return
+		}
+		printed := PrintModule(m, reg)
+		if _, err := ParseModule(printed, reg); err != nil {
+			t.Fatalf("printed module does not re-parse: %v\ninput: %q\nprinted:\n%s", err, src, printed)
+		}
+	})
+}

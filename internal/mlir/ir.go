@@ -1,0 +1,283 @@
+package mlir
+
+import (
+	"fmt"
+)
+
+// Value is an SSA value: either the result of an operation or a block
+// argument. Values carry their type and know their definition site.
+type Value struct {
+	// Typ is the value's static type.
+	Typ Type
+	// Def is the defining operation for op results, nil for block args.
+	Def *Operation
+	// ResultIdx is the result position when Def != nil.
+	ResultIdx int
+	// OwnerBlock is the owning block for block arguments, nil for results.
+	OwnerBlock *Block
+	// ArgIdx is the argument position when OwnerBlock != nil.
+	ArgIdx int
+	// Name is an optional source-level name (without the leading %).
+	Name string
+}
+
+// Type returns the value's type.
+func (v *Value) Type() Type { return v.Typ }
+
+// IsBlockArg reports whether the value is a block argument.
+func (v *Value) IsBlockArg() bool { return v.OwnerBlock != nil }
+
+func (v *Value) String() string {
+	if v.Name != "" {
+		return "%" + v.Name
+	}
+	if v.IsBlockArg() {
+		return fmt.Sprintf("%%arg%d", v.ArgIdx)
+	}
+	return fmt.Sprintf("%%<%p>", v)
+}
+
+// Operation is a single IR operation: a name like "arith.addi", operands,
+// results, attributes, and nested regions.
+type Operation struct {
+	// Name is the fully qualified operation name, dialect.op.
+	Name string
+	// Operands are the SSA inputs.
+	Operands []*Value
+	// Results are the SSA outputs (owned by this operation).
+	Results []*Value
+	// Attrs are the named attributes in a deterministic order.
+	Attrs []NamedAttribute
+	// Regions are the nested regions.
+	Regions []*Region
+	// ParentBlock is the block containing this operation (nil for a
+	// detached op or the top-level module).
+	ParentBlock *Block
+}
+
+// NewOperation creates a detached operation with freshly allocated result
+// values of the given types.
+func NewOperation(name string, operands []*Value, resultTypes []Type) *Operation {
+	op := &Operation{Name: name, Operands: operands}
+	op.Results = make([]*Value, len(resultTypes))
+	for i, t := range resultTypes {
+		op.Results[i] = &Value{Typ: t, Def: op, ResultIdx: i}
+	}
+	return op
+}
+
+// Dialect returns the dialect prefix of the operation name ("arith" for
+// "arith.addi"); empty when the name has no dot.
+func (op *Operation) Dialect() string {
+	for i, c := range op.Name {
+		if c == '.' {
+			return op.Name[:i]
+		}
+	}
+	return ""
+}
+
+// Result returns result i.
+func (op *Operation) Result(i int) *Value { return op.Results[i] }
+
+// GetAttr finds a named attribute on the operation.
+func (op *Operation) GetAttr(name string) (Attribute, bool) {
+	return GetAttr(op.Attrs, name)
+}
+
+// SetAttr sets a named attribute on the operation.
+func (op *Operation) SetAttr(name string, a Attribute) {
+	op.Attrs = SetAttr(op.Attrs, name, a)
+}
+
+// FastMath returns the op's fastmath flag, defaulting to none.
+func (op *Operation) FastMath() FastMathFlag {
+	if a, ok := op.GetAttr("fastmath"); ok {
+		if fm, ok := a.(FastMathAttr); ok {
+			return fm.Flag
+		}
+	}
+	return FastMathNone
+}
+
+// AddRegion appends an empty region and returns it.
+func (op *Operation) AddRegion() *Region {
+	r := &Region{ParentOp: op}
+	op.Regions = append(op.Regions, r)
+	return r
+}
+
+// Walk visits op and every operation nested in its regions, depth-first,
+// pre-order. Returning false from fn stops the walk.
+func (op *Operation) Walk(fn func(*Operation) bool) bool {
+	if !fn(op) {
+		return false
+	}
+	for _, r := range op.Regions {
+		for _, b := range r.Blocks {
+			for _, inner := range b.Ops {
+				if !inner.Walk(fn) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Clone deep-copies the operation tree. mapping tracks old-to-new values so
+// operand references inside the clone resolve to cloned values; external
+// operands (defined outside op) are preserved as-is.
+func (op *Operation) Clone() *Operation {
+	mapping := make(map[*Value]*Value)
+	return op.cloneInto(mapping)
+}
+
+func (op *Operation) cloneInto(mapping map[*Value]*Value) *Operation {
+	c := &Operation{Name: op.Name}
+	c.Operands = make([]*Value, len(op.Operands))
+	for i, o := range op.Operands {
+		if m, ok := mapping[o]; ok {
+			c.Operands[i] = m
+		} else {
+			c.Operands[i] = o
+		}
+	}
+	c.Results = make([]*Value, len(op.Results))
+	for i, r := range op.Results {
+		nv := &Value{Typ: r.Typ, Def: c, ResultIdx: i, Name: r.Name}
+		c.Results[i] = nv
+		mapping[r] = nv
+	}
+	c.Attrs = append([]NamedAttribute(nil), op.Attrs...)
+	for _, reg := range op.Regions {
+		cr := c.AddRegion()
+		for _, blk := range reg.Blocks {
+			cb := cr.AddBlock()
+			for _, arg := range blk.Args {
+				na := cb.AddArg(arg.Typ, arg.Name)
+				mapping[arg] = na
+			}
+			for _, inner := range blk.Ops {
+				cb.Append(inner.cloneInto(mapping))
+			}
+		}
+	}
+	return c
+}
+
+// Region is an ordered list of blocks nested in an operation.
+type Region struct {
+	Blocks   []*Block
+	ParentOp *Operation
+}
+
+// AddBlock appends an empty block and returns it.
+func (r *Region) AddBlock() *Block {
+	b := &Block{ParentRegion: r}
+	r.Blocks = append(r.Blocks, b)
+	return b
+}
+
+// First returns the entry block, or nil for an empty region.
+func (r *Region) First() *Block {
+	if len(r.Blocks) == 0 {
+		return nil
+	}
+	return r.Blocks[0]
+}
+
+// Block is an ordered list of operations with typed arguments.
+type Block struct {
+	Args         []*Value
+	Ops          []*Operation
+	ParentRegion *Region
+}
+
+// AddArg appends a typed block argument.
+func (b *Block) AddArg(t Type, name string) *Value {
+	v := &Value{Typ: t, OwnerBlock: b, ArgIdx: len(b.Args), Name: name}
+	b.Args = append(b.Args, v)
+	return v
+}
+
+// Append adds an operation at the end of the block.
+func (b *Block) Append(op *Operation) {
+	op.ParentBlock = b
+	b.Ops = append(b.Ops, op)
+}
+
+// Terminator returns the last operation, or nil for an empty block.
+func (b *Block) Terminator() *Operation {
+	if len(b.Ops) == 0 {
+		return nil
+	}
+	return b.Ops[len(b.Ops)-1]
+}
+
+// Module is the top-level container: a builtin.module operation with one
+// region holding one block of top-level operations (typically func.func).
+type Module struct {
+	Op *Operation
+}
+
+// NewModule returns an empty module.
+func NewModule() *Module {
+	op := NewOperation("builtin.module", nil, nil)
+	op.AddRegion().AddBlock()
+	return &Module{Op: op}
+}
+
+// Body returns the module's top-level block.
+func (m *Module) Body() *Block { return m.Op.Regions[0].Blocks[0] }
+
+// Funcs returns every func.func operation in the module, in order.
+func (m *Module) Funcs() []*Operation {
+	var out []*Operation
+	for _, op := range m.Body().Ops {
+		if op.Name == "func.func" {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// FindFunc returns the func.func with the given symbol name.
+func (m *Module) FindFunc(name string) (*Operation, bool) {
+	for _, f := range m.Funcs() {
+		if sym, ok := f.GetAttr("sym_name"); ok {
+			if s, ok := sym.(StringAttr); ok && s.Value == name {
+				return f, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// Walk visits every operation in the module.
+func (m *Module) Walk(fn func(*Operation) bool) { m.Op.Walk(fn) }
+
+// Clone deep-copies the module.
+func (m *Module) Clone() *Module { return &Module{Op: m.Op.Clone()} }
+
+// FuncName returns the symbol name of a func.func operation.
+func FuncName(f *Operation) string {
+	if sym, ok := f.GetAttr("sym_name"); ok {
+		if s, ok := sym.(StringAttr); ok {
+			return s.Value
+		}
+	}
+	return ""
+}
+
+// FuncType returns the function type of a func.func operation.
+func FuncType(f *Operation) (FunctionType, bool) {
+	if a, ok := f.GetAttr("function_type"); ok {
+		if ta, ok := a.(TypeAttr); ok {
+			if ft, ok := ta.Type.(FunctionType); ok {
+				return ft, true
+			}
+		}
+	}
+	return FunctionType{}, false
+}

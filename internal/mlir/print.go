@@ -1,0 +1,236 @@
+package mlir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// PrintState carries printer context: SSA value naming and indentation.
+type PrintState struct {
+	b      strings.Builder
+	reg    *Registry
+	names  map[*Value]string
+	taken  map[string]bool
+	nextID int
+	indent int
+}
+
+// PrintModule renders the module in MLIR pretty syntax.
+func PrintModule(m *Module, reg *Registry) string {
+	ps := newPrintState(reg)
+	ps.Write("module {\n")
+	ps.indent++
+	for _, op := range m.Body().Ops {
+		ps.PrintOp(op)
+	}
+	ps.indent--
+	ps.Write("}\n")
+	return ps.b.String()
+}
+
+// PrintOperation renders a single operation (and its regions).
+func PrintOperation(op *Operation, reg *Registry) string {
+	ps := newPrintState(reg)
+	ps.PrintOp(op)
+	return ps.b.String()
+}
+
+func newPrintState(reg *Registry) *PrintState {
+	return &PrintState{
+		reg:   reg,
+		names: make(map[*Value]string),
+		taken: make(map[string]bool),
+	}
+}
+
+// Write appends raw text.
+func (ps *PrintState) Write(s string) { ps.b.WriteString(s) }
+
+// Writef appends formatted text.
+func (ps *PrintState) Writef(format string, args ...any) {
+	fmt.Fprintf(&ps.b, format, args...)
+}
+
+// Indent writes the current indentation.
+func (ps *PrintState) Indent() { ps.Write(strings.Repeat("  ", ps.indent)) }
+
+// ValueName returns the printed name (with %) of v, allocating one if
+// needed.
+func (ps *PrintState) ValueName(v *Value) string {
+	if n, ok := ps.names[v]; ok {
+		return "%" + n
+	}
+	name := v.Name
+	if name == "" || ps.taken[name] {
+		for {
+			name = strconv.Itoa(ps.nextID)
+			ps.nextID++
+			if !ps.taken[name] {
+				break
+			}
+		}
+	}
+	ps.names[v] = name
+	ps.taken[name] = true
+	return "%" + name
+}
+
+// PrintOperands writes a comma-separated operand list.
+func (ps *PrintState) PrintOperands(vals []*Value) {
+	for i, v := range vals {
+		if i > 0 {
+			ps.Write(", ")
+		}
+		ps.Write(ps.ValueName(v))
+	}
+}
+
+// PrintOptionalFastMath writes ` fastmath<flag>` when the op carries a
+// non-default fastmath attribute.
+func (ps *PrintState) PrintOptionalFastMath(op *Operation) {
+	if a, ok := op.GetAttr("fastmath"); ok {
+		if fm, ok := a.(FastMathAttr); ok && fm.Flag != FastMathNone {
+			ps.Write(" " + fm.String())
+		}
+	}
+}
+
+// PrintAttrDict writes {k = v, ...} for the given attributes, skipping the
+// names in skip. Writes nothing when every attribute is skipped.
+func (ps *PrintState) PrintAttrDict(attrs []NamedAttribute, skip ...string) {
+	skipSet := make(map[string]bool, len(skip))
+	for _, s := range skip {
+		skipSet[s] = true
+	}
+	var kept []NamedAttribute
+	for _, na := range attrs {
+		if !skipSet[na.Name] {
+			kept = append(kept, na)
+		}
+	}
+	if len(kept) == 0 {
+		return
+	}
+	ps.Write(" {")
+	for i, na := range kept {
+		if i > 0 {
+			ps.Write(", ")
+		}
+		ps.Write(na.Name)
+		if _, isUnit := na.Attr.(UnitAttr); !isUnit {
+			ps.Write(" = " + na.Attr.String())
+		}
+	}
+	ps.Write("}")
+}
+
+// PrintRegion writes a brace-delimited region body (entry-block args are
+// printed by the op's own syntax, e.g. scf.for's induction variable).
+func (ps *PrintState) PrintRegion(r *Region) {
+	ps.Write("{\n")
+	ps.indent++
+	for _, b := range r.Blocks {
+		for _, op := range b.Ops {
+			ps.PrintOp(op)
+		}
+	}
+	ps.indent--
+	ps.Indent()
+	ps.Write("}")
+}
+
+// PrintRegionWithBlockHeader writes a region whose entry block declares
+// its arguments with an MLIR block header (`^bb0(%x: t, ...):`), as
+// scf.while's after-region requires.
+func (ps *PrintState) PrintRegionWithBlockHeader(r *Region) {
+	ps.Write("{\n")
+	ps.indent++
+	for bi, b := range r.Blocks {
+		ps.Indent()
+		ps.Writef("^bb%d(", bi)
+		for i, a := range b.Args {
+			if i > 0 {
+				ps.Write(", ")
+			}
+			ps.Write(ps.ValueName(a) + ": " + a.Typ.String())
+		}
+		ps.Write("):\n")
+		for _, op := range b.Ops {
+			ps.PrintOp(op)
+		}
+	}
+	ps.indent--
+	ps.Indent()
+	ps.Write("}")
+}
+
+// PrintOp writes one operation line (plus nested regions) with trailing
+// newline.
+func (ps *PrintState) PrintOp(op *Operation) {
+	ps.Indent()
+	if len(op.Results) > 0 {
+		for i, r := range op.Results {
+			if i > 0 {
+				ps.Write(", ")
+			}
+			ps.Write(ps.ValueName(r))
+		}
+		ps.Write(" = ")
+	}
+	if def, ok := ps.reg.Lookup(op.Name); ok && def.Print != nil {
+		ps.Write(op.Name)
+		def.Print(ps, op)
+	} else {
+		ps.printGenericOp(op)
+	}
+	ps.Write("\n")
+}
+
+// printGenericOp emits the generic quoted form used for unregistered
+// ("opaque") operations, which the parser accepts back.
+func (ps *PrintState) printGenericOp(op *Operation) {
+	// quoteAttrString, not %q: the parser only understands a restricted
+	// escape set, and raw bytes round-trip.
+	ps.Write(quoteAttrString(op.Name))
+	ps.Write("(")
+	ps.PrintOperands(op.Operands)
+	ps.Write(")")
+	if len(op.Regions) > 0 {
+		ps.Write(" (")
+		for i, r := range op.Regions {
+			if i > 0 {
+				ps.Write(", ")
+			}
+			ps.PrintRegion(r)
+		}
+		ps.Write(")")
+	}
+	ps.PrintAttrDict(op.Attrs)
+	ps.Write(" : (")
+	for i, o := range op.Operands {
+		if i > 0 {
+			ps.Write(", ")
+		}
+		ps.Write(o.Typ.String())
+	}
+	ps.Write(") -> ")
+	ps.PrintResultTypes(op)
+}
+
+// PrintResultTypes writes result types: one bare type, or a parenthesized
+// list for zero/many.
+func (ps *PrintState) PrintResultTypes(op *Operation) {
+	if len(op.Results) == 1 {
+		ps.Write(op.Results[0].Typ.String())
+		return
+	}
+	ps.Write("(")
+	for i, r := range op.Results {
+		if i > 0 {
+			ps.Write(", ")
+		}
+		ps.Write(r.Typ.String())
+	}
+	ps.Write(")")
+}

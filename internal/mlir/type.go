@@ -1,0 +1,235 @@
+// Package mlir implements the MLIR-like intermediate representation that
+// DialEgg optimizes: a multi-dialect SSA IR with operations, typed values,
+// attributes, blocks and regions, plus a textual parser and printer for the
+// pretty syntax of the dialects used in the paper (builtin, func, arith,
+// math, scf, tensor, linalg).
+package mlir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type is an MLIR type. Types are immutable; Equal compares structurally
+// and String returns the canonical MLIR syntax.
+type Type interface {
+	fmt.Stringer
+	isType()
+}
+
+// TypeEqual reports structural equality of two types via their canonical
+// text, which is unique per type in this IR.
+func TypeEqual(a, b Type) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.String() == b.String()
+}
+
+// IntegerType is the builtin iN type (signless, as in MLIR).
+type IntegerType struct {
+	// Width in bits (1, 8, 16, 32, 64).
+	Width int
+}
+
+func (t IntegerType) isType()        {}
+func (t IntegerType) String() string { return fmt.Sprintf("i%d", t.Width) }
+
+// Common integer types.
+var (
+	I1  = IntegerType{Width: 1}
+	I8  = IntegerType{Width: 8}
+	I16 = IntegerType{Width: 16}
+	I32 = IntegerType{Width: 32}
+	I64 = IntegerType{Width: 64}
+)
+
+// FloatType is the builtin fN type.
+type FloatType struct {
+	// Width in bits (16, 32, 64).
+	Width int
+}
+
+func (t FloatType) isType()        {}
+func (t FloatType) String() string { return fmt.Sprintf("f%d", t.Width) }
+
+// Common float types.
+var (
+	F16 = FloatType{Width: 16}
+	F32 = FloatType{Width: 32}
+	F64 = FloatType{Width: 64}
+)
+
+// IndexType is the builtin index type used for loop bounds and tensor
+// indexing.
+type IndexType struct{}
+
+func (IndexType) isType()        {}
+func (IndexType) String() string { return "index" }
+
+// Index is the canonical index type value.
+var Index = IndexType{}
+
+// NoneType is the builtin none type.
+type NoneType struct{}
+
+func (NoneType) isType()        {}
+func (NoneType) String() string { return "none" }
+
+// DynamicDim marks a dynamic dimension in a tensor shape (printed as '?').
+const DynamicDim = int64(-1)
+
+// RankedTensorType is tensor<d0xd1x...xElem>.
+type RankedTensorType struct {
+	Shape []int64
+	Elem  Type
+}
+
+func (t RankedTensorType) isType() {}
+
+func (t RankedTensorType) String() string {
+	var b strings.Builder
+	b.WriteString("tensor<")
+	for _, d := range t.Shape {
+		if d == DynamicDim {
+			b.WriteString("?x")
+		} else {
+			fmt.Fprintf(&b, "%dx", d)
+		}
+	}
+	b.WriteString(t.Elem.String())
+	b.WriteString(">")
+	return b.String()
+}
+
+// Rank returns the number of dimensions.
+func (t RankedTensorType) Rank() int { return len(t.Shape) }
+
+// NumElements returns the total element count, or -1 if any dimension is
+// dynamic.
+func (t RankedTensorType) NumElements() int64 {
+	n := int64(1)
+	for _, d := range t.Shape {
+		if d == DynamicDim {
+			return -1
+		}
+		n *= d
+	}
+	return n
+}
+
+// TensorOf builds a ranked tensor type.
+func TensorOf(elem Type, shape ...int64) RankedTensorType {
+	return RankedTensorType{Shape: shape, Elem: elem}
+}
+
+// UnrankedTensorType is tensor<*xElem>.
+type UnrankedTensorType struct {
+	Elem Type
+}
+
+func (t UnrankedTensorType) isType()        {}
+func (t UnrankedTensorType) String() string { return "tensor<*x" + t.Elem.String() + ">" }
+
+// FunctionType is (ins) -> (outs).
+type FunctionType struct {
+	Inputs  []Type
+	Results []Type
+}
+
+func (t FunctionType) isType() {}
+
+func (t FunctionType) String() string {
+	var b strings.Builder
+	b.WriteString("(")
+	for i, in := range t.Inputs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(in.String())
+	}
+	b.WriteString(") -> ")
+	if len(t.Results) == 1 {
+		b.WriteString(t.Results[0].String())
+	} else {
+		b.WriteString("(")
+		for i, out := range t.Results {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(out.String())
+		}
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
+// TupleType is tuple<a, b, ...>.
+type TupleType struct {
+	Elems []Type
+}
+
+func (t TupleType) isType() {}
+
+func (t TupleType) String() string {
+	var b strings.Builder
+	b.WriteString("tuple<")
+	for i, e := range t.Elems {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(e.String())
+	}
+	b.WriteString(">")
+	return b.String()
+}
+
+// ComplexType is complex<Elem>.
+type ComplexType struct {
+	Elem Type
+}
+
+func (t ComplexType) isType()        {}
+func (t ComplexType) String() string { return "complex<" + t.Elem.String() + ">" }
+
+// OpaqueType carries the textual form of a type this IR does not model
+// structurally; it round-trips through parsing and printing unchanged.
+type OpaqueType struct {
+	// Text is the full type syntax, e.g. "!mydialect.mytype<3>".
+	Text string
+}
+
+func (t OpaqueType) isType()        {}
+func (t OpaqueType) String() string { return t.Text }
+
+// IsIntOrIndex reports whether t is an integer or index type.
+func IsIntOrIndex(t Type) bool {
+	switch t.(type) {
+	case IntegerType, IndexType:
+		return true
+	}
+	return false
+}
+
+// IsFloat reports whether t is a float type.
+func IsFloat(t Type) bool {
+	_, ok := t.(FloatType)
+	return ok
+}
+
+// IsShaped reports whether t has a shape (currently: ranked tensors).
+func IsShaped(t Type) bool {
+	_, ok := t.(RankedTensorType)
+	return ok
+}
+
+// ElemTypeOf returns the element type of a shaped type, or t itself.
+func ElemTypeOf(t Type) Type {
+	switch s := t.(type) {
+	case RankedTensorType:
+		return s.Elem
+	case UnrankedTensorType:
+		return s.Elem
+	}
+	return t
+}

@@ -1,0 +1,275 @@
+package passes
+
+import (
+	"fmt"
+	"strings"
+
+	"dialegg/internal/mlir"
+)
+
+// Canonicalize is the classical cleanup pass: per-op folds (constant
+// folding and algebraic identities from the dialect definitions), common
+// subexpression elimination over pure ops, and dead-code elimination. It
+// iterates to a fixed point, mirroring MLIR's canonicalization driver.
+type Canonicalize struct{}
+
+// NewCanonicalize returns the canonicalization pass.
+func NewCanonicalize() *Canonicalize { return &Canonicalize{} }
+
+// Name implements Pass.
+func (*Canonicalize) Name() string { return "canonicalize" }
+
+// Run implements Pass.
+func (*Canonicalize) Run(m *mlir.Module, reg *mlir.Registry) error {
+	for {
+		changed := false
+		if foldOnce(m, reg) {
+			changed = true
+		}
+		if simplifyIfOnce(m, reg) {
+			changed = true
+		}
+		if cseOnce(m, reg) {
+			changed = true
+		}
+		if dceOnce(m, reg) {
+			changed = true
+		}
+		if !changed {
+			return nil
+		}
+	}
+}
+
+// simplifyIfOnce inlines scf.if ops whose condition is a constant: the
+// taken branch's body replaces the if, and its scf.yield operands replace
+// the results — MLIR's region simplification in miniature.
+func simplifyIfOnce(m *mlir.Module, reg *mlir.Registry) bool {
+	changed := false
+	var targets []*mlir.Operation
+	m.Walk(func(op *mlir.Operation) bool {
+		if op.Name == "scf.if" {
+			if d := op.Operands[0].Def; d != nil && d.Name == "arith.constant" {
+				targets = append(targets, op)
+			}
+		}
+		return true
+	})
+	for _, op := range targets {
+		if op.ParentBlock == nil {
+			continue
+		}
+		condAttr, _ := op.Operands[0].Def.GetAttr("value")
+		ia, ok := condAttr.(mlir.IntegerAttr)
+		if !ok {
+			continue
+		}
+		branch := 0
+		if ia.Value == 0 {
+			branch = 1
+		}
+		if branch >= len(op.Regions) {
+			// False condition without an else: the if just disappears.
+			removeOp(op)
+			changed = true
+			continue
+		}
+		body := op.Regions[branch].First()
+		term := body.Terminator()
+		// Splice the branch's ops (minus the yield) before the if.
+		for _, inner := range body.Ops {
+			if inner == term {
+				break
+			}
+			insertBefore(op, inner)
+		}
+		if term != nil && term.Name == "scf.yield" {
+			for i, res := range op.Results {
+				replaceAllUses(m.Op, res, term.Operands[i])
+			}
+		}
+		removeOp(op)
+		changed = true
+	}
+	return changed
+}
+
+// foldOnce applies every available fold once; reports whether anything
+// changed.
+func foldOnce(m *mlir.Module, reg *mlir.Registry) bool {
+	changed := false
+	// Collect ops first: folding mutates blocks.
+	var ops []*mlir.Operation
+	m.Walk(func(op *mlir.Operation) bool {
+		ops = append(ops, op)
+		return true
+	})
+	for _, op := range ops {
+		if op.ParentBlock == nil && op.Name != "builtin.module" {
+			continue // already removed
+		}
+		def, ok := reg.Lookup(op.Name)
+		if !ok || def.Fold == nil || len(op.Results) != 1 {
+			continue
+		}
+		res, ok := def.Fold(op)
+		if !ok {
+			continue
+		}
+		var replacement *mlir.Value
+		if res.Value != nil {
+			replacement = res.Value
+		} else {
+			// Materialize the constant right before op.
+			c := mlir.NewOperation("arith.constant", nil, []mlir.Type{op.Results[0].Typ})
+			c.SetAttr("value", res.Attr)
+			insertBefore(op, c)
+			replacement = c.Results[0]
+		}
+		replaceAllUses(m.Op, op.Results[0], replacement)
+		removeOp(op)
+		changed = true
+	}
+	return changed
+}
+
+func insertBefore(anchor, newOp *mlir.Operation) {
+	b := anchor.ParentBlock
+	for i, o := range b.Ops {
+		if o == anchor {
+			b.Ops = append(b.Ops[:i], append([]*mlir.Operation{newOp}, b.Ops[i:]...)...)
+			newOp.ParentBlock = b
+			return
+		}
+	}
+}
+
+// cseOnce merges structurally identical pure ops. A scoped table keyed by
+// (name, operands, attrs) is threaded through nested regions so inner
+// regions can reuse outer definitions, matching MLIR's dominance-scoped
+// CSE for structured control flow.
+func cseOnce(m *mlir.Module, reg *mlir.Registry) bool {
+	changed := false
+	var walkBlock func(b *mlir.Block, scope map[string]*mlir.Value)
+	walkBlock = func(b *mlir.Block, scope map[string]*mlir.Value) {
+		local := make(map[string]*mlir.Value, 8)
+		lookup := func(k string) (*mlir.Value, bool) {
+			if v, ok := local[k]; ok {
+				return v, true
+			}
+			if v, ok := scope[k]; ok {
+				return v, true
+			}
+			return nil, false
+		}
+		kept := b.Ops[:0]
+		for _, op := range b.Ops {
+			// Ops with regions get their regions processed with the
+			// combined scope; the op itself is not CSE'd (control flow).
+			if len(op.Regions) > 0 || !reg.IsPure(op) || len(op.Results) != 1 {
+				merged := make(map[string]*mlir.Value, len(scope)+len(local))
+				for k, v := range scope {
+					merged[k] = v
+				}
+				for k, v := range local {
+					merged[k] = v
+				}
+				for _, r := range op.Regions {
+					for _, inner := range r.Blocks {
+						walkBlock(inner, merged)
+					}
+				}
+				kept = append(kept, op)
+				continue
+			}
+			key := cseKey(op)
+			if prev, ok := lookup(key); ok {
+				replaceAllUses(m.Op, op.Results[0], prev)
+				op.ParentBlock = nil
+				changed = true
+				continue
+			}
+			local[key] = op.Results[0]
+			kept = append(kept, op)
+		}
+		b.Ops = kept
+	}
+	for _, f := range m.Body().Ops {
+		for _, r := range f.Regions {
+			for _, b := range r.Blocks {
+				walkBlock(b, map[string]*mlir.Value{})
+			}
+		}
+	}
+	return changed
+}
+
+// cseKey builds a structural identity key for a pure region-free op:
+// operand SSA identities (pointer identity) plus attributes. Result types
+// are included so same-input ops with different result types stay distinct.
+func cseKey(op *mlir.Operation) string {
+	var b strings.Builder
+	b.WriteString(op.Name)
+	for _, o := range op.Operands {
+		fmt.Fprintf(&b, "|%p", o)
+	}
+	for _, na := range op.Attrs {
+		b.WriteByte('#')
+		b.WriteString(na.Name)
+		b.WriteByte('=')
+		b.WriteString(na.Attr.String())
+	}
+	for _, r := range op.Results {
+		b.WriteByte('!')
+		b.WriteString(r.Typ.String())
+	}
+	return b.String()
+}
+
+// dceOnce removes pure ops whose results are all unused; reports change.
+func dceOnce(m *mlir.Module, reg *mlir.Registry) bool {
+	// Count uses in one walk.
+	used := make(map[*mlir.Value]bool)
+	m.Walk(func(op *mlir.Operation) bool {
+		for _, o := range op.Operands {
+			used[o] = true
+		}
+		return true
+	})
+	changed := false
+	var sweep func(b *mlir.Block)
+	sweep = func(b *mlir.Block) {
+		kept := b.Ops[:0]
+		for _, op := range b.Ops {
+			for _, r := range op.Regions {
+				for _, inner := range r.Blocks {
+					sweep(inner)
+				}
+			}
+			dead := reg.IsPure(op) && len(op.Results) > 0 && len(op.Regions) == 0
+			if dead {
+				for _, res := range op.Results {
+					if used[res] {
+						dead = false
+						break
+					}
+				}
+			}
+			if dead {
+				op.ParentBlock = nil
+				changed = true
+				continue
+			}
+			kept = append(kept, op)
+		}
+		b.Ops = kept
+	}
+	for _, f := range m.Body().Ops {
+		for _, r := range f.Regions {
+			for _, b := range r.Blocks {
+				sweep(b)
+			}
+		}
+	}
+	return changed
+}

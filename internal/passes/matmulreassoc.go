@@ -1,0 +1,108 @@
+package passes
+
+import (
+	"dialegg/internal/mlir"
+)
+
+// MatmulReassociate is the hand-written optimization pass the paper
+// compares against DialEgg in §8.4: a *local, greedy* rewrite that looks at
+// one (X·Y)·Z window at a time and flips it to X·(Y·Z) when that lowers
+// the scalar-multiplication count. Because it never considers more than
+// three matrices at once, it finds the optimum for 2MM but not necessarily
+// for longer chains (3MM and beyond) — exactly the limitation the paper
+// demonstrates. The pass is the Go analogue of the ~120-line C++
+// OpRewritePattern described in the paper.
+type MatmulReassociate struct {
+	// Rewrites counts applied local rewrites (for tests/reports).
+	Rewrites int
+}
+
+// NewMatmulReassociate returns the greedy reassociation pass.
+func NewMatmulReassociate() *MatmulReassociate { return &MatmulReassociate{} }
+
+// Name implements Pass.
+func (*MatmulReassociate) Name() string { return "greedy-matmul-reassociate" }
+
+// matmulShape extracts (rows, inner, cols) from a matmul's operand types.
+func matmulShape(op *mlir.Operation) (a, b, c int64, ok bool) {
+	lt, lok := op.Operands[0].Typ.(mlir.RankedTensorType)
+	rt, rok := op.Operands[1].Typ.(mlir.RankedTensorType)
+	if !lok || !rok || lt.Rank() != 2 || rt.Rank() != 2 {
+		return 0, 0, 0, false
+	}
+	return lt.Shape[0], lt.Shape[1], rt.Shape[1], true
+}
+
+// Run implements Pass.
+func (p *MatmulReassociate) Run(m *mlir.Module, reg *mlir.Registry) error {
+	for {
+		var target *mlir.Operation
+		m.Walk(func(op *mlir.Operation) bool {
+			if op.Name == "linalg.matmul" && p.shouldFlip(op) {
+				target = op
+				return false
+			}
+			return true
+		})
+		if target == nil {
+			break
+		}
+		if err := p.flip(m, target); err != nil {
+			return err
+		}
+		p.Rewrites++
+	}
+	// Clean up matmuls orphaned by the rewrites.
+	dceOnce(m, reg)
+	return nil
+}
+
+// shouldFlip reports whether op is (X·Y)·Z with X·(Y·Z) strictly cheaper.
+// The greedy window is the three matrices feeding this op; the inner
+// product stays behind for DCE if it has other uses.
+func (p *MatmulReassociate) shouldFlip(op *mlir.Operation) bool {
+	left := op.Operands[0].Def
+	if left == nil || left.Name != "linalg.matmul" {
+		return false
+	}
+	// X: aXb, Y: bXc (from left), Z: cXd (from op).
+	a, b, _, ok := matmulShape(left)
+	if !ok {
+		return false
+	}
+	_, c, d, ok := matmulShape(op)
+	if !ok {
+		return false
+	}
+	costLeftAssoc := a*b*c + a*c*d  // (XY)Z
+	costRightAssoc := b*c*d + a*b*d // X(YZ)
+	return costRightAssoc < costLeftAssoc
+}
+
+// flip rewrites op = matmul(matmul(X,Y), Z) into matmul(X, matmul(Y,Z)),
+// materializing a tensor.empty for the new intermediate.
+func (p *MatmulReassociate) flip(m *mlir.Module, op *mlir.Operation) error {
+	left := op.Operands[0].Def
+	x, y := left.Operands[0], left.Operands[1]
+	z := op.Operands[1]
+
+	yt := y.Typ.(mlir.RankedTensorType)
+	zt := z.Typ.(mlir.RankedTensorType)
+	yzType := mlir.TensorOf(yt.Elem, yt.Shape[0], zt.Shape[1])
+
+	empty := mlir.NewOperation("tensor.empty", nil, []mlir.Type{yzType})
+	yz := mlir.NewOperation("linalg.matmul",
+		[]*mlir.Value{y, z, empty.Results[0]}, []mlir.Type{yzType})
+
+	// The final product keeps op's output tensor and result type.
+	final := mlir.NewOperation("linalg.matmul",
+		[]*mlir.Value{x, yz.Results[0], op.Operands[2]},
+		[]mlir.Type{op.Results[0].Typ})
+
+	insertBefore(op, empty)
+	insertBefore(op, yz)
+	insertBefore(op, final)
+	replaceAllUses(m.Op, op.Results[0], final.Results[0])
+	removeOp(op)
+	return nil
+}

@@ -1,0 +1,91 @@
+// Package passes implements the classical MLIR-style pass infrastructure
+// the paper compares DialEgg against: a pass manager, the canonicalization
+// pass (constant folding, algebraic simplification, CSE, dead-code
+// elimination), and the hand-written greedy matmul-reassociation pass from
+// §8.4.
+package passes
+
+import (
+	"fmt"
+	"time"
+
+	"dialegg/internal/mlir"
+)
+
+// Pass transforms a module in place.
+type Pass interface {
+	// Name identifies the pass in timings and diagnostics.
+	Name() string
+	// Run applies the pass.
+	Run(m *mlir.Module, reg *mlir.Registry) error
+}
+
+// Timing records one pass execution.
+type Timing struct {
+	Pass    string
+	Elapsed time.Duration
+}
+
+// PassManager runs a pipeline of passes, verifying after each.
+type PassManager struct {
+	reg    *mlir.Registry
+	passes []Pass
+	// SkipVerify disables inter-pass verification (for timing runs).
+	SkipVerify bool
+}
+
+// NewPassManager returns an empty pipeline over the registry.
+func NewPassManager(reg *mlir.Registry) *PassManager {
+	return &PassManager{reg: reg}
+}
+
+// Add appends a pass to the pipeline.
+func (pm *PassManager) Add(p Pass) *PassManager {
+	pm.passes = append(pm.passes, p)
+	return pm
+}
+
+// Run executes the pipeline on m, returning per-pass timings.
+func (pm *PassManager) Run(m *mlir.Module) ([]Timing, error) {
+	timings := make([]Timing, 0, len(pm.passes))
+	for _, p := range pm.passes {
+		start := time.Now()
+		if err := p.Run(m, pm.reg); err != nil {
+			return timings, fmt.Errorf("passes: %s: %w", p.Name(), err)
+		}
+		timings = append(timings, Timing{Pass: p.Name(), Elapsed: time.Since(start)})
+		if !pm.SkipVerify {
+			if err := pm.reg.Verify(m.Op); err != nil {
+				return timings, fmt.Errorf("passes: verification after %s: %w", p.Name(), err)
+			}
+		}
+	}
+	return timings, nil
+}
+
+// replaceAllUses swaps every use of old for new within root's tree.
+func replaceAllUses(root *mlir.Operation, old, new *mlir.Value) {
+	root.Walk(func(op *mlir.Operation) bool {
+		for i, o := range op.Operands {
+			if o == old {
+				op.Operands[i] = new
+			}
+		}
+		return true
+	})
+}
+
+// removeOp deletes op from its parent block.
+func removeOp(op *mlir.Operation) {
+	b := op.ParentBlock
+	if b == nil {
+		return
+	}
+	for i, o := range b.Ops {
+		if o == op {
+			b.Ops = append(b.Ops[:i], b.Ops[i+1:]...)
+			op.ParentBlock = nil
+			return
+		}
+	}
+}

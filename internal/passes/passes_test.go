@@ -1,0 +1,354 @@
+package passes
+
+import (
+	"strings"
+	"testing"
+
+	"dialegg/internal/dialects"
+	"dialegg/internal/mlir"
+)
+
+func parse(t *testing.T, src string) (*mlir.Module, *mlir.Registry) {
+	t.Helper()
+	reg := dialects.NewRegistry()
+	m, err := mlir.ParseModule(src, reg)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return m, reg
+}
+
+func runPass(t *testing.T, m *mlir.Module, reg *mlir.Registry, p Pass) {
+	t.Helper()
+	pm := NewPassManager(reg).Add(p)
+	if _, err := pm.Run(m); err != nil {
+		t.Fatalf("pass %s: %v", p.Name(), err)
+	}
+}
+
+func countOps(m *mlir.Module, name string) int {
+	n := 0
+	m.Walk(func(op *mlir.Operation) bool {
+		if op.Name == name {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// TestConstantFolding reproduces the §7.1 example: 2+3 folds to 5.
+func TestConstantFolding(t *testing.T) {
+	m, reg := parse(t, `
+func.func @f() -> i32 {
+  %c2 = arith.constant 2 : i32
+  %c3 = arith.constant 3 : i32
+  %sum = arith.addi %c2, %c3 : i32
+  func.return %sum : i32
+}`)
+	runPass(t, m, reg, NewCanonicalize())
+	if n := countOps(m, "arith.addi"); n != 0 {
+		t.Errorf("addi not folded, %d remain", n)
+	}
+	out := mlir.PrintModule(m, reg)
+	if !strings.Contains(out, "arith.constant 5 : i32") {
+		t.Errorf("expected folded constant 5:\n%s", out)
+	}
+	// The dead 2 and 3 constants must be gone.
+	if n := countOps(m, "arith.constant"); n != 1 {
+		t.Errorf("constants remaining = %d, want 1", n)
+	}
+}
+
+func TestIdentityFolds(t *testing.T) {
+	m, reg := parse(t, `
+func.func @f(%x: i64) -> i64 {
+  %c0 = arith.constant 0 : i64
+  %c1 = arith.constant 1 : i64
+  %a = arith.addi %x, %c0 : i64
+  %b = arith.muli %a, %c1 : i64
+  %c = arith.shli %b, %c0 : i64
+  func.return %c : i64
+}`)
+	runPass(t, m, reg, NewCanonicalize())
+	f := m.Funcs()[0]
+	body := f.Regions[0].First()
+	if len(body.Ops) != 1 || body.Ops[0].Name != "func.return" {
+		t.Errorf("expected identity chain to fold to a bare return:\n%s", mlir.PrintModule(m, reg))
+	}
+	// The return must now use %x directly.
+	if body.Ops[0].Operands[0] != body.Args[0] {
+		t.Error("return does not use the argument directly")
+	}
+}
+
+func TestMulByZeroAnnihilates(t *testing.T) {
+	m, reg := parse(t, `
+func.func @f(%x: i64) -> i64 {
+  %c0 = arith.constant 0 : i64
+  %r = arith.muli %x, %c0 : i64
+  func.return %r : i64
+}`)
+	runPass(t, m, reg, NewCanonicalize())
+	out := mlir.PrintModule(m, reg)
+	if countOps(m, "arith.muli") != 0 {
+		t.Errorf("x*0 not annihilated:\n%s", out)
+	}
+}
+
+func TestCSE(t *testing.T) {
+	m, reg := parse(t, `
+func.func @f(%x: f64) -> f64 {
+  %a = arith.mulf %x, %x : f64
+  %b = arith.mulf %x, %x : f64
+  %r = arith.addf %a, %b : f64
+  func.return %r : f64
+}`)
+	runPass(t, m, reg, NewCanonicalize())
+	if n := countOps(m, "arith.mulf"); n != 1 {
+		t.Errorf("CSE left %d mulf ops, want 1", n)
+	}
+}
+
+// TestCSEAcrossRegions: an inner region can reuse an outer computation but
+// not vice versa.
+func TestCSEAcrossRegions(t *testing.T) {
+	m, reg := parse(t, `
+func.func @f(%x: f64, %c: i1) -> f64 {
+  %a = arith.mulf %x, %x : f64
+  %r = scf.if %c -> (f64) {
+    %b = arith.mulf %x, %x : f64
+    scf.yield %b : f64
+  } else {
+    scf.yield %a : f64
+  }
+  func.return %r : f64
+}`)
+	runPass(t, m, reg, NewCanonicalize())
+	if n := countOps(m, "arith.mulf"); n != 1 {
+		t.Errorf("CSE across regions left %d mulf ops, want 1:\n%s", n, mlir.PrintModule(m, reg))
+	}
+}
+
+func TestDCEKeepsImpure(t *testing.T) {
+	m, reg := parse(t, `
+func.func @f(%x: f32) -> f32 {
+  %dead = arith.addf %x, %x : f32
+  %r = "mydialect.effectful"(%x) : (f32) -> f32
+  func.return %x : f32
+}`)
+	runPass(t, m, reg, NewCanonicalize())
+	if countOps(m, "arith.addf") != 0 {
+		t.Error("dead pure op not removed")
+	}
+	if countOps(m, "mydialect.effectful") != 1 {
+		t.Error("unregistered (potentially effectful) op must be kept")
+	}
+}
+
+func TestSelectFold(t *testing.T) {
+	m, reg := parse(t, `
+func.func @f(%a: i64, %b: i64) -> i64 {
+  %t = arith.constant true
+  %r = arith.select %t, %a, %b : i64
+  func.return %r : i64
+}`)
+	runPass(t, m, reg, NewCanonicalize())
+	if countOps(m, "arith.select") != 0 {
+		t.Errorf("select with constant cond not folded:\n%s", mlir.PrintModule(m, reg))
+	}
+}
+
+const twoMM = `
+func.func @two_mm(%A: tensor<100x10xf64>, %B: tensor<10x150xf64>, %C: tensor<150x8xf64>) -> tensor<100x8xf64> {
+  %e1 = tensor.empty() : tensor<100x150xf64>
+  %AB = linalg.matmul ins(%A, %B : tensor<100x10xf64>, tensor<10x150xf64>) outs(%e1 : tensor<100x150xf64>) -> tensor<100x150xf64>
+  %e2 = tensor.empty() : tensor<100x8xf64>
+  %r = linalg.matmul ins(%AB, %C : tensor<100x150xf64>, tensor<150x8xf64>) outs(%e2 : tensor<100x8xf64>) -> tensor<100x8xf64>
+  func.return %r : tensor<100x8xf64>
+}`
+
+// TestGreedyMatmul2MM: on the paper's 2MM shapes (100x10 · 10x150 · 150x8)
+// the greedy pass must flip to A·(B·C):
+// (AB)C = 100*10*150 + 100*150*8 = 270,000 multiplications
+// A(BC) = 10*150*8 + 100*10*8   = 20,000 multiplications (paper §7.4)
+func TestGreedyMatmul2MM(t *testing.T) {
+	m, reg := parse(t, twoMM)
+	p := NewMatmulReassociate()
+	runPass(t, m, reg, p)
+	if p.Rewrites != 1 {
+		t.Errorf("rewrites = %d, want 1", p.Rewrites)
+	}
+	if err := reg.Verify(m.Op); err != nil {
+		t.Fatalf("verify after rewrite: %v", err)
+	}
+	if got := chainMulCost(m); got != 20000 {
+		t.Errorf("multiplication count after greedy = %d, want 20000", got)
+	}
+}
+
+// chainMulCost sums a*b*c over every matmul in the module.
+func chainMulCost(m *mlir.Module) int64 {
+	var total int64
+	m.Walk(func(op *mlir.Operation) bool {
+		if op.Name == "linalg.matmul" {
+			a, b, c, ok := matmulShape(op)
+			if ok {
+				total += a * b * c
+			}
+		}
+		return true
+	})
+	return total
+}
+
+// TestGreedyMatmulSuboptimal3MM constructs a chain where greedy local
+// reassociation gets stuck in a local optimum while the global optimum is
+// cheaper — the §8.4 phenomenon. Shapes: A 10x30, B 30x5, C 5x60, D 60x8.
+// Optimal order is (A(BC))D? Enumerate: the greedy pass walking outermost-
+// first sees ((AB)C)D and flips only profitable local windows.
+func TestGreedyMatmulImproves3MM(t *testing.T) {
+	src := `
+func.func @three_mm(%A: tensor<200x175xf64>, %B: tensor<175x250xf64>, %C: tensor<250x150xf64>, %D: tensor<150x10xf64>) -> tensor<200x10xf64> {
+  %e1 = tensor.empty() : tensor<200x250xf64>
+  %AB = linalg.matmul ins(%A, %B : tensor<200x175xf64>, tensor<175x250xf64>) outs(%e1 : tensor<200x250xf64>) -> tensor<200x250xf64>
+  %e2 = tensor.empty() : tensor<200x150xf64>
+  %ABC = linalg.matmul ins(%AB, %C : tensor<200x250xf64>, tensor<250x150xf64>) outs(%e2 : tensor<200x150xf64>) -> tensor<200x150xf64>
+  %e3 = tensor.empty() : tensor<200x10xf64>
+  %r = linalg.matmul ins(%ABC, %D : tensor<200x150xf64>, tensor<150x10xf64>) outs(%e3 : tensor<200x10xf64>) -> tensor<200x10xf64>
+  func.return %r : tensor<200x10xf64>
+}`
+	m, reg := parse(t, src)
+	before := chainMulCost(m)
+	p := NewMatmulReassociate()
+	runPass(t, m, reg, p)
+	after := chainMulCost(m)
+	if after >= before {
+		t.Errorf("greedy did not improve: before %d after %d", before, after)
+	}
+	if err := reg.Verify(m.Op); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	// Global optimum for these shapes (computed by dynamic programming):
+	// the greedy result must not beat it.
+	optimal := matrixChainOptimal([]int64{200, 175, 250, 150, 10})
+	if after < optimal {
+		t.Errorf("greedy %d beats DP optimum %d — DP bug", after, optimal)
+	}
+	t.Logf("3MM chain: naive=%d greedy=%d optimal=%d", before, after, optimal)
+}
+
+// matrixChainOptimal is the classical O(n^3) DP for matrix-chain ordering,
+// used as a test oracle.
+func matrixChainOptimal(dims []int64) int64 {
+	n := len(dims) - 1
+	cost := make([][]int64, n)
+	for i := range cost {
+		cost[i] = make([]int64, n)
+	}
+	for length := 2; length <= n; length++ {
+		for i := 0; i+length-1 < n; i++ {
+			j := i + length - 1
+			cost[i][j] = 1 << 62
+			for k := i; k < j; k++ {
+				c := cost[i][k] + cost[k+1][j] + dims[i]*dims[k+1]*dims[j+1]
+				if c < cost[i][j] {
+					cost[i][j] = c
+				}
+			}
+		}
+	}
+	return cost[0][n-1]
+}
+
+func TestPassManagerTimings(t *testing.T) {
+	m, reg := parse(t, twoMM)
+	pm := NewPassManager(reg).Add(NewCanonicalize()).Add(NewMatmulReassociate())
+	timings, err := pm.Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(timings) != 2 {
+		t.Fatalf("timings = %d, want 2", len(timings))
+	}
+	if timings[0].Pass != "canonicalize" || timings[1].Pass != "greedy-matmul-reassociate" {
+		t.Errorf("timing names: %+v", timings)
+	}
+}
+
+func TestCanonicalizeStable(t *testing.T) {
+	// Canonicalization must be idempotent: a second run changes nothing.
+	m, reg := parse(t, `
+func.func @f(%x: i64) -> i64 {
+  %c2 = arith.constant 2 : i64
+  %c3 = arith.constant 3 : i64
+  %a = arith.muli %c2, %c3 : i64
+  %b = arith.addi %x, %a : i64
+  func.return %b : i64
+}`)
+	runPass(t, m, reg, NewCanonicalize())
+	first := mlir.PrintModule(m, reg)
+	runPass(t, m, reg, NewCanonicalize())
+	second := mlir.PrintModule(m, reg)
+	if first != second {
+		t.Errorf("canonicalize not idempotent:\n%s\nvs\n%s", first, second)
+	}
+}
+
+// TestIfSimplification: scf.if with a constant condition inlines the taken
+// branch (MLIR's region simplification).
+func TestIfSimplification(t *testing.T) {
+	m, reg := parse(t, `
+func.func @f(%x: f64) -> f64 {
+  %t = arith.constant true
+  %r = scf.if %t -> (f64) {
+    %a = arith.mulf %x, %x : f64
+    scf.yield %a : f64
+  } else {
+    %b = arith.addf %x, %x : f64
+    scf.yield %b : f64
+  }
+  func.return %r : f64
+}`)
+	runPass(t, m, reg, NewCanonicalize())
+	out := mlir.PrintModule(m, reg)
+	if countOps(m, "scf.if") != 0 {
+		t.Errorf("constant-condition if not inlined:\n%s", out)
+	}
+	if countOps(m, "arith.mulf") != 1 || countOps(m, "arith.addf") != 0 {
+		t.Errorf("wrong branch survived:\n%s", out)
+	}
+}
+
+func TestIfSimplificationFalseNoElse(t *testing.T) {
+	m, reg := parse(t, `
+func.func @f(%x: f64) -> f64 {
+  %f = arith.constant false
+  scf.if %f {
+    "sideeffect.op"() : () -> ()
+    scf.yield
+  }
+  func.return %x : f64
+}`)
+	runPass(t, m, reg, NewCanonicalize())
+	if countOps(m, "scf.if") != 0 || countOps(m, "sideeffect.op") != 0 {
+		t.Errorf("false if without else should vanish:\n%s", mlir.PrintModule(m, reg))
+	}
+}
+
+func TestIfSimplificationDynamicUntouched(t *testing.T) {
+	m, reg := parse(t, `
+func.func @f(%x: f64, %c: i1) -> f64 {
+  %r = scf.if %c -> (f64) {
+    scf.yield %x : f64
+  } else {
+    %b = arith.addf %x, %x : f64
+    scf.yield %b : f64
+  }
+  func.return %r : f64
+}`)
+	runPass(t, m, reg, NewCanonicalize())
+	if countOps(m, "scf.if") != 1 {
+		t.Errorf("dynamic-condition if must stay:\n%s", mlir.PrintModule(m, reg))
+	}
+}

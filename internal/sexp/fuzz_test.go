@@ -1,0 +1,39 @@
+package sexp
+
+import "testing"
+
+// FuzzParse exercises the s-expression parser with arbitrary input; it
+// must never panic, and anything it accepts must round-trip through
+// String back to an Equal tree.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`(sort Expr)`,
+		`(function Num (i64) Expr :cost 1)`,
+		`(let e (Div (Mul (Var "a") (Num 2)) (Num 2)))`,
+		`(rule ((= ?k (log2 ?n))) ((union ?lhs ?rhs)))`,
+		`(RankedTensor (vec-of 2 3) (I64))`,
+		`; comment only`,
+		`1.5e-9 -42 "str \" esc" ?x`,
+		`(((((deep)))))`,
+		`(unclosed`,
+		`)`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		nodes, err := Parse(src)
+		if err != nil {
+			return
+		}
+		for _, n := range nodes {
+			again, err := ParseOne(n.String())
+			if err != nil {
+				t.Fatalf("printed form does not re-parse: %q -> %q: %v", src, n.String(), err)
+			}
+			if !n.Equal(again) {
+				t.Fatalf("round trip not equal: %q vs %q", n.String(), again.String())
+			}
+		}
+	})
+}

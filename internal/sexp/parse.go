@@ -1,0 +1,205 @@
+package sexp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// ParseError describes a syntax error with its source position.
+type ParseError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("sexp: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Parse reads every top-level s-expression from src. Comments start with ';'
+// and run to end of line.
+func Parse(src string) ([]*Node, error) {
+	p := &parser{src: src, line: 1, col: 1}
+	var nodes []*Node
+	for {
+		p.skipSpace()
+		if p.eof() {
+			return nodes, nil
+		}
+		n, err := p.node()
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, n)
+	}
+}
+
+// ParseOne parses exactly one s-expression and rejects trailing input.
+func ParseOne(src string) (*Node, error) {
+	nodes, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(nodes) != 1 {
+		return nil, fmt.Errorf("sexp: expected exactly one expression, got %d", len(nodes))
+	}
+	return nodes[0], nil
+}
+
+type parser struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) peek() byte { return p.src[p.pos] }
+
+func (p *parser) advance() byte {
+	c := p.src[p.pos]
+	p.pos++
+	if c == '\n' {
+		p.line++
+		p.col = 1
+	} else {
+		p.col++
+	}
+	return c
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{Line: p.line, Col: p.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) skipSpace() {
+	for !p.eof() {
+		switch p.peek() {
+		case ' ', '\t', '\r', '\n':
+			p.advance()
+		case ';':
+			for !p.eof() && p.peek() != '\n' {
+				p.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) node() (*Node, error) {
+	p.skipSpace()
+	if p.eof() {
+		return nil, p.errf("unexpected end of input")
+	}
+	line, col := p.line, p.col
+	switch c := p.peek(); {
+	case c == '(':
+		p.advance()
+		n := &Node{Kind: KindList, Line: line, Col: col}
+		for {
+			p.skipSpace()
+			if p.eof() {
+				return nil, p.errf("unclosed '(' opened at %d:%d", line, col)
+			}
+			if p.peek() == ')' {
+				p.advance()
+				return n, nil
+			}
+			child, err := p.node()
+			if err != nil {
+				return nil, err
+			}
+			n.List = append(n.List, child)
+		}
+	case c == ')':
+		return nil, p.errf("unexpected ')'")
+	case c == '"':
+		return p.stringAtom(line, col)
+	default:
+		return p.atom(line, col)
+	}
+}
+
+func (p *parser) stringAtom(line, col int) (*Node, error) {
+	p.advance() // opening quote
+	var b strings.Builder
+	for {
+		if p.eof() {
+			return nil, p.errf("unterminated string started at %d:%d", line, col)
+		}
+		c := p.advance()
+		switch c {
+		case '"':
+			return &Node{Kind: KindString, Str: b.String(), Line: line, Col: col}, nil
+		case '\\':
+			if p.eof() {
+				return nil, p.errf("unterminated escape in string")
+			}
+			e := p.advance()
+			switch e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			default:
+				return nil, p.errf("unknown escape \\%c", e)
+			}
+		default:
+			b.WriteByte(c)
+		}
+	}
+}
+
+func isAtomByte(c byte) bool {
+	switch c {
+	case '(', ')', '"', ';', ' ', '\t', '\r', '\n':
+		return false
+	}
+	return true
+}
+
+func (p *parser) atom(line, col int) (*Node, error) {
+	start := p.pos
+	for !p.eof() && isAtomByte(p.peek()) {
+		p.advance()
+	}
+	text := p.src[start:p.pos]
+	if text == "" {
+		return nil, p.errf("empty atom")
+	}
+	if n, ok := numericAtom(text); ok {
+		n.Line, n.Col = line, col
+		return n, nil
+	}
+	return &Node{Kind: KindSymbol, Sym: text, Line: line, Col: col}, nil
+}
+
+// numericAtom classifies an atom's text as an int or float literal.
+// Symbols like "-" or "?x" or "vec-of" must not parse as numbers.
+func numericAtom(text string) (*Node, bool) {
+	r, _ := utf8.DecodeRuneInString(text)
+	startsNum := unicode.IsDigit(r) ||
+		((r == '-' || r == '+') && len(text) > 1 && isDigitOrDot(text[1]))
+	if !startsNum && r != '.' {
+		return nil, false
+	}
+	if i, err := strconv.ParseInt(text, 10, 64); err == nil {
+		return &Node{Kind: KindInt, Int: i}, true
+	}
+	if f, err := strconv.ParseFloat(text, 64); err == nil {
+		return &Node{Kind: KindFloat, Float: f}, true
+	}
+	return nil, false
+}
+
+func isDigitOrDot(c byte) bool { return (c >= '0' && c <= '9') || c == '.' }
