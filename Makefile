@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench examples fig3 tables full clean
+.PHONY: all build test test-race vet bench examples fig3 tables full clean
 
-all: build vet test
+all: build vet test test-race
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,12 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Race-detector run: the saturation match phase is concurrent, so the
+# tier-1 flow includes it (the parallel differential and fuzz tests only
+# prove determinism when they also run race-clean).
+test-race:
+	$(GO) test -race ./...
 
 # Long-form test run with saved output, per the reproduction protocol.
 test-log:

@@ -47,18 +47,19 @@ func main() {
 	iterLimit := flag.Int("iter-limit", 0, "saturation iteration limit (0 = default)")
 	nodeLimit := flag.Int("node-limit", 0, "e-graph node limit (0 = default)")
 	timeLimit := flag.Duration("time-limit", 0, "saturation time limit (0 = default)")
+	workers := flag.Int("workers", 0, "match-phase worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	stats := flag.Bool("stats", false, "print optimization statistics to stderr")
 	explain := flag.Bool("explain", false, "print a proof for every rewritten operation to stderr")
 	flag.Parse()
 
-	if err := run(eggFiles, *ruleSet, *emitEgg, *canon, *greedy, *noDialEgg, *iterLimit, *nodeLimit, *timeLimit, *stats, *explain); err != nil {
+	if err := run(eggFiles, *ruleSet, *emitEgg, *canon, *greedy, *noDialEgg, *iterLimit, *nodeLimit, *workers, *timeLimit, *stats, *explain); err != nil {
 		fmt.Fprintln(os.Stderr, "egg-opt:", err)
 		os.Exit(1)
 	}
 }
 
 func run(eggFiles []string, ruleSet string, emitEgg, canon, greedy, noDialEgg bool,
-	iterLimit, nodeLimit int, timeLimit time.Duration, stats, explain bool) error {
+	iterLimit, nodeLimit, workers int, timeLimit time.Duration, stats, explain bool) error {
 
 	var src []byte
 	var err error
@@ -117,6 +118,7 @@ func run(eggFiles []string, ruleSet string, emitEgg, canon, greedy, noDialEgg bo
 				IterLimit: iterLimit,
 				NodeLimit: nodeLimit,
 				TimeLimit: timeLimit,
+				Workers:   workers,
 			},
 			KeepEggProgram:  emitEgg,
 			ExplainRewrites: explain,
@@ -137,10 +139,14 @@ func run(eggFiles []string, ruleSet string, emitEgg, canon, greedy, noDialEgg bo
 		if stats {
 			fmt.Fprintf(os.Stderr, "rules: %d, translated ops: %d, opaque ops: %d\n",
 				rep.NumRules, rep.NumTranslatedOps, rep.NumOpaqueOps)
-			fmt.Fprintf(os.Stderr, "saturation: %d iterations, %d nodes, stop: %s\n",
-				rep.Run.Iterations, rep.Run.Nodes, rep.Run.Stop)
-			fmt.Fprintf(os.Stderr, "times: mlir->egg %v, egglog %v (saturation %v), egg->mlir %v\n",
-				rep.MLIRToEgg, rep.EggTotal, rep.Saturation, rep.EggToMLIR)
+			fmt.Fprintf(os.Stderr, "saturation: %d iterations, %d nodes, stop: %s, workers: %d\n",
+				rep.Run.Iterations, rep.Run.Nodes, rep.Run.Stop, rep.Run.Workers)
+			fmt.Fprintf(os.Stderr, "times: mlir->egg %v, egglog %v (saturation %v = match %v + apply %v + rebuild %v), egg->mlir %v\n",
+				rep.MLIRToEgg, rep.EggTotal, rep.Saturation, rep.SatMatch, rep.SatApply, rep.SatRebuild, rep.EggToMLIR)
+			for i, it := range rep.Run.PerIter {
+				fmt.Fprintf(os.Stderr, "  iter %d: %d matches, %d unions, %d nodes, match %v, apply %v, rebuild %v (%d passes)\n",
+					i+1, it.Matches, it.Unions, it.Nodes, it.MatchTime, it.ApplyTime, it.RebuildTime, it.RebuildPasses)
+			}
 			fmt.Fprintf(os.Stderr, "extracted cost: %d\n", rep.ExtractCost)
 		}
 	}

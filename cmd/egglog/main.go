@@ -24,17 +24,18 @@ import (
 
 func main() {
 	dotPath := flag.String("dot", "", "write the final e-graph as Graphviz DOT to this file")
-	stats := flag.Bool("stats", false, "print e-graph statistics after execution")
+	stats := flag.Bool("stats", false, "print e-graph and saturation statistics after execution")
 	proofs := flag.Bool("proofs", false, "record union provenance so (explain a b) works")
+	workers := flag.Int("workers", 0, "match-phase worker pool size for (run ...) (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
-	if err := run(*dotPath, *stats, *proofs); err != nil {
+	if err := run(*dotPath, *stats, *proofs, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "egglog:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dotPath string, stats, proofs bool) error {
+func run(dotPath string, stats, proofs bool, workers int) error {
 	var src []byte
 	var err error
 	switch flag.NArg() {
@@ -57,6 +58,7 @@ func run(dotPath string, stats, proofs bool) error {
 	if proofs {
 		p.Graph().EnableExplanations()
 	}
+	p.RunDefaults.Workers = workers
 	// Execute command by command so results interleave with their
 	// commands, like the reference egglog REPL.
 	for _, n := range nodes {
@@ -95,6 +97,14 @@ func run(dotPath string, stats, proofs bool) error {
 		g := p.Graph()
 		fmt.Fprintf(os.Stderr, "e-graph: %d nodes, %d classes, %d rules\n",
 			g.NumNodes(), g.NumClasses(), p.NumRules())
+		if last := p.LastRun; last.Iterations > 0 {
+			fmt.Fprintf(os.Stderr, "last run: %d iterations, workers %d, match %v, apply %v, rebuild %v\n",
+				last.Iterations, last.Workers, last.MatchTime, last.ApplyTime, last.RebuildTime)
+			for i, it := range last.PerIter {
+				fmt.Fprintf(os.Stderr, "  iter %d: %d matches, %d unions, %d nodes, match %v, apply %v, rebuild %v (%d passes)\n",
+					i+1, it.Matches, it.Unions, it.Nodes, it.MatchTime, it.ApplyTime, it.RebuildTime, it.RebuildPasses)
+			}
+		}
 	}
 	if dotPath != "" {
 		f, err := os.Create(dotPath)

@@ -19,6 +19,10 @@ type Options struct {
 	RuleSources []string
 	// RunConfig bounds the saturation run.
 	RunConfig egraph.RunConfig
+	// Workers bounds the match-phase worker pool of the saturation run
+	// (0 = GOMAXPROCS, 1 = serial). A non-zero RunConfig.Workers wins.
+	// Extraction results are identical for every worker count.
+	Workers int
 	// KeepEggProgram stores the generated egglog program text in the
 	// report (for debugging and the egg-opt --emit-egg flag).
 	KeepEggProgram bool
@@ -39,6 +43,13 @@ type Report struct {
 	EggTotal   time.Duration
 	Saturation time.Duration
 	EggToMLIR  time.Duration
+
+	// SatMatch, SatApply, and SatRebuild split Saturation into the
+	// engine's three phases (match is the parallel one; see
+	// Options.Workers).
+	SatMatch   time.Duration
+	SatApply   time.Duration
+	SatRebuild time.Duration
 
 	// Run is the saturation engine report (iterations, nodes, stop
 	// reason).
@@ -71,6 +82,9 @@ func (r *Report) merge(o *Report) {
 	r.EggTotal += o.EggTotal
 	r.Saturation += o.Saturation
 	r.EggToMLIR += o.EggToMLIR
+	r.SatMatch += o.SatMatch
+	r.SatApply += o.SatApply
+	r.SatRebuild += o.SatRebuild
 	r.NumTranslatedOps += o.NumTranslatedOps
 	r.NumOpaqueOps += o.NumOpaqueOps
 	r.ExtractCost += o.ExtractCost
@@ -157,12 +171,19 @@ func (o *Optimizer) OptimizeFunc(f *mlir.Operation) (*mlir.Operation, *Report, e
 		return nil, nil, fmt.Errorf("dialegg: loading translated program: %w", err)
 	}
 	startSat := time.Now()
-	run := p.RunRules(o.opts.RunConfig)
+	cfg := o.opts.RunConfig
+	if cfg.Workers == 0 {
+		cfg.Workers = o.opts.Workers
+	}
+	run := p.RunRules(cfg)
 	if run.Err != nil {
 		return nil, nil, fmt.Errorf("dialegg: saturation: %w", run.Err)
 	}
 	report.Saturation = time.Since(startSat)
 	report.Run = run
+	report.SatMatch = run.MatchTime
+	report.SatApply = run.ApplyTime
+	report.SatRebuild = run.RebuildTime
 	rootExpr := sexp.Symbol(tr.RootName)
 	term, cost, err := p.ExtractExpr(rootExpr)
 	if err != nil {

@@ -401,6 +401,9 @@ func (p *Program) RunRules(cfg egraph.RunConfig) egraph.RunReport {
 	if cfg.TimeLimit == 0 {
 		cfg.TimeLimit = p.RunDefaults.TimeLimit
 	}
+	if cfg.Workers == 0 {
+		cfg.Workers = p.RunDefaults.Workers
+	}
 	p.LastRun = p.g.Run(p.rules, cfg)
 	return p.LastRun
 }

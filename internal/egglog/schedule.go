@@ -77,10 +77,14 @@ func (p *Program) RunSchedule(items []*sexp.Node, cfg egraph.RunConfig) (egraph.
 func mergeReports(total *egraph.RunReport, rep egraph.RunReport) {
 	total.Iterations += rep.Iterations
 	total.Elapsed += rep.Elapsed
+	total.MatchTime += rep.MatchTime
+	total.ApplyTime += rep.ApplyTime
+	total.RebuildTime += rep.RebuildTime
 	total.PerIter = append(total.PerIter, rep.PerIter...)
 	total.Nodes = rep.Nodes
 	total.Classes = rep.Classes
 	total.Stop = rep.Stop
+	total.Workers = rep.Workers
 }
 
 func (p *Program) runScheduleItem(item *sexp.Node, cfg egraph.RunConfig) (egraph.RunReport, error) {

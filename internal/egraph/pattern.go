@@ -186,17 +186,44 @@ func (b *bindings) get(g *EGraph, a Atom) (Value, bool) {
 // Match runs the rule's query and calls yield with a snapshot of the
 // bindings for every match. yield returning false stops the search.
 func (g *EGraph) Match(r *Rule, yield func(binds []Value) bool) error {
+	return g.MatchShard(r, 0, -1, yield)
+}
+
+// MatchShard runs the rule's query restricted to rows [lo, hi) of the
+// first premise's table scan (hi < 0 means unrestricted). Partitioning
+// [0, n) into contiguous ascending shards and concatenating their yields
+// in shard order reproduces Match's sequence exactly, which is what makes
+// the parallel match phase deterministic. First premises that do not scan
+// — a fully-bound direct lookup, an indexed scan, or a primitive
+// evaluation — run entirely in the shard with lo == 0 and yield nothing
+// elsewhere.
+func (g *EGraph) MatchShard(r *Rule, lo, hi int, yield func(binds []Value) bool) error {
 	b := newBindings(r.NumSlots)
-	err := g.matchFrom(r, 0, b, yield)
+	err := g.matchFrom(r, 0, lo, hi, b, yield)
 	if err == errStopMatch {
 		return nil
 	}
 	return err
 }
 
+// FirstPremiseRows reports the scan length of the rule's first premise:
+// the row count of its table for a TablePremise, 0 otherwise. The parallel
+// runner uses it to decide how many shards a rule is worth.
+func (g *EGraph) FirstPremiseRows(r *Rule) int {
+	if len(r.Premises) == 0 {
+		return 0
+	}
+	if p, ok := r.Premises[0].(*TablePremise); ok {
+		return len(p.Fn.table.rows)
+	}
+	return 0
+}
+
 var errStopMatch = fmt.Errorf("egraph: match stopped")
 
-func (g *EGraph) matchFrom(r *Rule, i int, b *bindings, yield func([]Value) bool) error {
+// matchFrom continues the query at premise i. lo/hi restrict the scan of
+// premise 0 only; recursive calls pass the unrestricted range.
+func (g *EGraph) matchFrom(r *Rule, i, lo, hi int, b *bindings, yield func([]Value) bool) error {
 	if i == len(r.Premises) {
 		snap := make([]Value, len(b.vals))
 		copy(snap, b.vals)
@@ -207,15 +234,18 @@ func (g *EGraph) matchFrom(r *Rule, i int, b *bindings, yield func([]Value) bool
 	}
 	switch p := r.Premises[i].(type) {
 	case *TablePremise:
-		return g.matchTable(r, i, p, b, yield)
+		return g.matchTable(r, i, lo, hi, p, b, yield)
 	case *EvalPremise:
+		if lo > 0 {
+			return nil // non-scan premise: handled wholly by the first shard
+		}
 		return g.matchEval(r, i, p, b, yield)
 	default:
 		return fmt.Errorf("egraph: unknown premise type %T", p)
 	}
 }
 
-func (g *EGraph) matchTable(r *Rule, i int, p *TablePremise, b *bindings, yield func([]Value) bool) error {
+func (g *EGraph) matchTable(r *Rule, i, lo, hi int, p *TablePremise, b *bindings, yield func([]Value) bool) error {
 	// Fast path: all argument atoms already determined — direct lookup.
 	allBound := true
 	for _, a := range p.Args {
@@ -225,6 +255,9 @@ func (g *EGraph) matchTable(r *Rule, i int, p *TablePremise, b *bindings, yield 
 		}
 	}
 	if allBound {
+		if lo > 0 {
+			return nil // single-lookup premise: first shard owns it
+		}
 		args := make([]Value, len(p.Args))
 		for j, a := range p.Args {
 			v, _ := b.get(g, a)
@@ -238,7 +271,7 @@ func (g *EGraph) matchTable(r *Rule, i int, p *TablePremise, b *bindings, yield 
 		if !ok {
 			return nil
 		}
-		err := g.matchFrom(r, i+1, b, yield)
+		err := g.matchFrom(r, i+1, 0, -1, b, yield)
 		if undo >= 0 {
 			b.bound[undo] = false
 		}
@@ -269,12 +302,21 @@ func (g *EGraph) matchTable(r *Rule, i int, p *TablePremise, b *bindings, yield 
 	// visible mid-match (the runner matches before applying, but Match is
 	// also usable standalone).
 	n := len(t.rows)
+	start := 0
 	if useIndex {
+		if lo > 0 {
+			return nil // indexed scan: first shard owns it
+		}
 		n = len(candidates)
+	} else if hi >= 0 {
+		start = lo
+		if hi < n {
+			n = hi
+		}
 	}
 	var undos []int
 rows:
-	for k := 0; k < n; k++ {
+	for k := start; k < n; k++ {
 		ri := k
 		if useIndex {
 			ri = int(candidates[k])
@@ -302,7 +344,7 @@ rows:
 			undos = append(undos, undo)
 		}
 		if ok {
-			if err := g.matchFrom(r, i+1, b, yield); err != nil {
+			if err := g.matchFrom(r, i+1, 0, -1, b, yield); err != nil {
 				for _, u := range undos {
 					b.bound[u] = false
 				}
@@ -336,7 +378,7 @@ func (g *EGraph) matchEval(r *Rule, i int, p *EvalPremise, b *bindings, yield fu
 		}
 		return nil
 	}
-	err := g.matchFrom(r, i+1, b, yield)
+	err := g.matchFrom(r, i+1, 0, -1, b, yield)
 	if undo >= 0 {
 		b.bound[undo] = false
 	}

@@ -2,6 +2,7 @@ package egraph
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 )
@@ -19,6 +20,20 @@ type RunConfig struct {
 	// TimeLimit stops the run after this wall-clock duration
 	// (default 30s).
 	TimeLimit time.Duration
+	// Workers bounds the match-phase worker pool (default GOMAXPROCS;
+	// 1 runs the match phase serially). The applied rewrites are
+	// identical for every worker count: matches are merged back in
+	// rule-declaration order before the serial apply phase.
+	Workers int
+	// MatchShards caps how many shards a rule's top-level scan is split
+	// into (default Workers). Sharding finer than the worker count
+	// improves load balance; the merged match order is unchanged by
+	// either knob.
+	MatchShards int
+	// RecordTaskTimes populates IterStats.TaskTimes with each match
+	// task's duration, making the match phase's parallelism observable
+	// (per-shard work and its balance across workers).
+	RecordTaskTimes bool
 }
 
 func (c RunConfig) withDefaults() RunConfig {
@@ -33,6 +48,12 @@ func (c RunConfig) withDefaults() RunConfig {
 	}
 	if c.TimeLimit == 0 {
 		c.TimeLimit = 30 * time.Second
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MatchShards <= 0 {
+		c.MatchShards = c.Workers
 	}
 	return c
 }
@@ -57,8 +78,15 @@ type RunReport struct {
 	Nodes      int
 	Classes    int
 	Elapsed    time.Duration
-	// PerIter records (matches applied, nodes after) per iteration for
-	// scalability studies.
+	// Workers is the match-phase worker count the run used.
+	Workers int
+	// MatchTime, ApplyTime, and RebuildTime total the three phases across
+	// all iterations (MatchTime is wall time of the parallel phase, not
+	// the sum over workers).
+	MatchTime   time.Duration
+	ApplyTime   time.Duration
+	RebuildTime time.Duration
+	// PerIter records per-iteration statistics for scalability studies.
 	PerIter []IterStats
 	// Err holds the first rule error, if Stop == StopRuleError.
 	Err error
@@ -66,27 +94,166 @@ type RunReport struct {
 
 // IterStats records one saturation iteration.
 type IterStats struct {
+	// Matches is the number of matches applied this iteration.
 	Matches int
-	Nodes   int
-	Unions  uint64
+	// Nodes is the e-node count after the iteration's rebuild.
+	Nodes int
+	// Unions counts effective unions performed by applies and rebuild.
+	Unions uint64
+	// MatchTime, ApplyTime, RebuildTime split the iteration's phases.
+	MatchTime   time.Duration
+	ApplyTime   time.Duration
+	RebuildTime time.Duration
+	// RebuildPasses is how many passes Rebuild needed to restore
+	// congruence (repair rounds).
+	RebuildPasses int
+	// TaskTimes holds each match task's duration in task-plan order
+	// (rule-major, shard-minor) when RunConfig.RecordTaskTimes is set.
+	TaskTimes []time.Duration
 }
 
 // Saturated reports whether the run reached a fixed point.
 func (r RunReport) Saturated() bool { return r.Stop == StopSaturated }
 
+// ruleMatches holds one rule's merged match buffer for the apply phase.
 type ruleMatches struct {
-	rule    *Rule
-	matches [][]Value
+	rule      *Rule
+	matches   [][]Value
+	truncated bool
 }
 
-// Run saturates the e-graph under the given rules: each iteration collects
-// all matches of all rules against the current graph, applies every match's
-// actions, then rebuilds congruence. The run stops at a fixed point (no new
-// unions and no new nodes) or when a limit is hit.
+// matchTask is one unit of match-phase work: one shard of one rule's
+// top-level scan. Shards of a rule partition [0, rows) into contiguous
+// ascending ranges, so concatenating shard buffers in shard order yields
+// exactly the serial match sequence.
+type matchTask struct {
+	ruleIdx int
+	lo, hi  int
+	buf     [][]Value
+	err     error
+}
+
+// shardMinRows is the smallest top-level scan worth splitting across
+// workers; below it the coordination overhead dominates.
+const shardMinRows = 64
+
+// planMatchTasks splits each rule's top-level scan into at most
+// `maxShards` contiguous shards. Rules whose first premise does not scan
+// (or scans few rows) get a single whole-range task.
+func (g *EGraph) planMatchTasks(rules []*Rule, maxShards int) []matchTask {
+	tasks := make([]matchTask, 0, len(rules))
+	for ri, r := range rules {
+		n := g.FirstPremiseRows(r)
+		shards := 1
+		if maxShards > 1 && n >= shardMinRows {
+			shards = maxShards
+			if shards > n {
+				shards = n
+			}
+		}
+		if shards == 1 {
+			tasks = append(tasks, matchTask{ruleIdx: ri, lo: 0, hi: -1})
+			continue
+		}
+		for s := 0; s < shards; s++ {
+			lo := n * s / shards
+			hi := n * (s + 1) / shards
+			tasks = append(tasks, matchTask{ruleIdx: ri, lo: lo, hi: hi})
+		}
+	}
+	return tasks
+}
+
+// collectMatches runs the match phase: every task e-matches against the
+// frozen (rebuilt, canonical) graph on a pool of `workers` goroutines,
+// each filling a private buffer. Buffers are then merged in
+// rule-declaration order (and shard order within a rule), truncated to
+// matchLimit per rule, so the result is independent of worker count and
+// scheduling. Matching only reads the graph: pool interning, union-find
+// path halving, and lazy index builds are internally synchronized.
+func (g *EGraph) collectMatches(rules []*Rule, cfg RunConfig) ([]ruleMatches, []time.Duration, error) {
+	workers, matchLimit := cfg.Workers, cfg.MatchLimit
+	tasks := g.planMatchTasks(rules, cfg.MatchShards)
+	var taskTimes []time.Duration
+	if cfg.RecordTaskTimes {
+		taskTimes = make([]time.Duration, len(tasks))
+	}
+
+	runTask := func(i int) {
+		t := &tasks[i]
+		var begin time.Time
+		if taskTimes != nil {
+			begin = time.Now()
+		}
+		r := rules[t.ruleIdx]
+		t.err = g.MatchShard(r, t.lo, t.hi, func(binds []Value) bool {
+			t.buf = append(t.buf, binds)
+			return len(t.buf) < matchLimit
+		})
+		if taskTimes != nil {
+			taskTimes[i] = time.Since(begin)
+		}
+	}
+
+	if workers <= 1 {
+		for i := range tasks {
+			runTask(i)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					runTask(i)
+				}
+			}()
+		}
+		for i := range tasks {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	// Merge: declaration order across rules, shard order within a rule.
+	merged := make([]ruleMatches, len(rules))
+	for i, r := range rules {
+		merged[i].rule = r
+	}
+	for i := range tasks {
+		t := &tasks[i]
+		if t.err != nil {
+			return nil, nil, fmt.Errorf("matching rule %s: %w", rules[t.ruleIdx].Name, t.err)
+		}
+		rm := &merged[t.ruleIdx]
+		if len(rm.matches) == 0 {
+			rm.matches = t.buf
+		} else {
+			rm.matches = append(rm.matches, t.buf...)
+		}
+	}
+	for i := range merged {
+		rm := &merged[i]
+		if len(rm.matches) >= matchLimit {
+			rm.matches = rm.matches[:matchLimit]
+			rm.truncated = true
+		}
+	}
+	return merged, taskTimes, nil
+}
+
+// Run saturates the e-graph under the given rules: each iteration
+// e-matches all rules against the current graph across a worker pool,
+// merges the match buffers deterministically, applies every match's
+// actions serially, then rebuilds congruence. The run stops at a fixed
+// point (no new unions and no new nodes) or when a limit is hit.
 func (g *EGraph) Run(rules []*Rule, cfg RunConfig) RunReport {
 	cfg = cfg.withDefaults()
 	start := time.Now()
-	report := RunReport{Stop: StopIterLimit}
+	report := RunReport{Stop: StopIterLimit, Workers: cfg.Workers}
 
 	for iter := 0; iter < cfg.IterLimit; iter++ {
 		if time.Since(start) > cfg.TimeLimit {
@@ -95,73 +262,65 @@ func (g *EGraph) Run(rules []*Rule, cfg RunConfig) RunReport {
 		}
 		// Matching relies on canonical rows (for safe concurrent reads and
 		// the per-argument indexes); restore congruence if a caller left
-		// the graph dirty.
+		// the graph dirty. This is also what makes the match-phase reads a
+		// consistent snapshot: no union or insert happens between here and
+		// the end of the match phase.
 		if !g.Clean() {
 			g.Rebuild()
 		}
 		unionsBefore := g.unionCount
 		rowsBefore := g.TotalRows()
+		var it IterStats
 
-		// Phase 1: match all rules against the frozen view, one goroutine
-		// per rule. After Rebuild every stored value is canonical, so
-		// matching only reads the graph (pool interning and index builds
-		// are internally locked).
-		pending := make([]ruleMatches, len(rules))
-		errs := make([]error, len(rules))
-		truncs := make([]bool, len(rules))
-		var wg sync.WaitGroup
-		for i, r := range rules {
-			wg.Add(1)
-			go func(i int, r *Rule) {
-				defer wg.Done()
-				rm := ruleMatches{rule: r}
-				errs[i] = g.Match(r, func(binds []Value) bool {
-					rm.matches = append(rm.matches, binds)
-					if len(rm.matches) >= cfg.MatchLimit {
-						truncs[i] = true
-						return false
-					}
-					return true
-				})
-				pending[i] = rm
-			}(i, r)
+		// Phase 1: match all rules against the frozen view on the pool.
+		startMatch := time.Now()
+		pending, taskTimes, err := g.collectMatches(rules, cfg)
+		it.MatchTime = time.Since(startMatch)
+		it.TaskTimes = taskTimes
+		report.MatchTime += it.MatchTime
+		if err != nil {
+			report.Stop = StopRuleError
+			report.Err = err
+			report.PerIter = append(report.PerIter, it)
+			report.finish(g, start)
+			return report
 		}
-		wg.Wait()
 		truncated := false
-		for i, err := range errs {
-			if err != nil {
-				report.Stop = StopRuleError
-				report.Err = fmt.Errorf("matching rule %s: %w", rules[i].Name, err)
-				report.finish(g, start)
-				return report
-			}
-			truncated = truncated || truncs[i]
+		for _, rm := range pending {
+			truncated = truncated || rm.truncated
 		}
 
-		// Phase 2: apply.
+		// Phase 2: apply serially, in merged (deterministic) order, so
+		// unions, inserts, and proof recording need no locking.
+		startApply := time.Now()
 		applied := 0
 		for _, rm := range pending {
 			for _, binds := range rm.matches {
 				if err := g.ApplyActions(rm.rule, binds); err != nil {
 					report.Stop = StopRuleError
 					report.Err = fmt.Errorf("applying rule %s: %w", rm.rule.Name, err)
+					report.PerIter = append(report.PerIter, it)
 					report.finish(g, start)
 					return report
 				}
 				applied++
 			}
 		}
+		it.ApplyTime = time.Since(startApply)
+		report.ApplyTime += it.ApplyTime
 
 		// Phase 3: restore congruence.
-		g.Rebuild()
+		startRebuild := time.Now()
+		it.RebuildPasses = g.Rebuild()
+		it.RebuildTime = time.Since(startRebuild)
+		report.RebuildTime += it.RebuildTime
 
 		report.Iterations = iter + 1
 		nodesAfter := g.NumNodes()
-		report.PerIter = append(report.PerIter, IterStats{
-			Matches: applied,
-			Nodes:   nodesAfter,
-			Unions:  g.unionCount - unionsBefore,
-		})
+		it.Matches = applied
+		it.Nodes = nodesAfter
+		it.Unions = g.unionCount - unionsBefore
+		report.PerIter = append(report.PerIter, it)
 
 		if truncated {
 			report.Stop = StopMatchLimit
