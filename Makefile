@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet bench examples fig3 tables full clean
+.PHONY: all build test test-race vet bench bench-smoke examples fig3 tables full clean
 
 all: build vet test test-race
 
@@ -28,6 +28,13 @@ test-log:
 
 bench:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# One-shot pass over the saturation benchmarks (cheap smoke signal that
+# the hot paths still run), then the naive-vs-semi-naive row-visit
+# comparison, refreshing BENCH_2.json.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'Saturate|EMatch|Rebuild|Extract' -benchtime=1x ./internal/egraph/ ./internal/bench/
+	$(GO) run ./cmd/benchtab -bench2
 
 examples:
 	$(GO) run ./examples/quickstart

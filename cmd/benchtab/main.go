@@ -9,6 +9,7 @@
 //	benchtab -full       # the paper's workload sizes (minutes)
 //	benchtab -fig3       # only Figure 3
 //	benchtab -table2 -chains 10,20,40,80
+//	benchtab -bench2     # naive vs semi-naive matching -> BENCH_2.json
 package main
 
 import (
@@ -25,11 +26,13 @@ func main() {
 	fig3 := flag.Bool("fig3", false, "regenerate Figure 3")
 	table1 := flag.Bool("table1", false, "regenerate Table 1")
 	table2 := flag.Bool("table2", false, "regenerate Table 2")
+	bench2 := flag.Bool("bench2", false, "compare naive vs semi-naive matching and write BENCH_2.json")
+	bench2Out := flag.String("bench2-out", "BENCH_2.json", "output path for -bench2")
 	full := flag.Bool("full", false, "use the paper's full workload sizes")
 	chains := flag.String("chains", "10,20,40,80", "NMM scalability chain lengths for Table 2")
 	flag.Parse()
 
-	if !*fig3 && !*table1 && !*table2 {
+	if !*fig3 && !*table1 && !*table2 && !*bench2 {
 		*fig3, *table1, *table2 = true, true, true
 	}
 	scale := bench.ScaleCI
@@ -48,6 +51,14 @@ func main() {
 		rows, err := bench.RunFig3(benchs)
 		fatalIf(err)
 		fmt.Println(bench.FormatFig3(rows))
+	}
+	if *bench2 {
+		fmt.Println("comparing naive vs semi-naive matching over the benchmark workloads...")
+		rows, err := bench.RunBench2(bench.Bench2Benchmarks(scale))
+		fatalIf(err)
+		fmt.Println(bench.FormatBench2(rows))
+		fatalIf(bench.WriteBench2JSON(*bench2Out, rows))
+		fmt.Println("wrote", *bench2Out)
 	}
 	if *table2 {
 		var sizes []int

@@ -48,18 +48,19 @@ func main() {
 	nodeLimit := flag.Int("node-limit", 0, "e-graph node limit (0 = default)")
 	timeLimit := flag.Duration("time-limit", 0, "saturation time limit (0 = default)")
 	workers := flag.Int("workers", 0, "match-phase worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	naive := flag.Bool("naive", false, "disable semi-naive (delta-frontier) matching; re-match the full database every iteration")
 	stats := flag.Bool("stats", false, "print optimization statistics to stderr")
 	explain := flag.Bool("explain", false, "print a proof for every rewritten operation to stderr")
 	flag.Parse()
 
-	if err := run(eggFiles, *ruleSet, *emitEgg, *canon, *greedy, *noDialEgg, *iterLimit, *nodeLimit, *workers, *timeLimit, *stats, *explain); err != nil {
+	if err := run(eggFiles, *ruleSet, *emitEgg, *canon, *greedy, *noDialEgg, *iterLimit, *nodeLimit, *workers, *timeLimit, *naive, *stats, *explain); err != nil {
 		fmt.Fprintln(os.Stderr, "egg-opt:", err)
 		os.Exit(1)
 	}
 }
 
 func run(eggFiles []string, ruleSet string, emitEgg, canon, greedy, noDialEgg bool,
-	iterLimit, nodeLimit, workers int, timeLimit time.Duration, stats, explain bool) error {
+	iterLimit, nodeLimit, workers int, timeLimit time.Duration, naive, stats, explain bool) error {
 
 	var src []byte
 	var err error
@@ -119,6 +120,7 @@ func run(eggFiles []string, ruleSet string, emitEgg, canon, greedy, noDialEgg bo
 				NodeLimit: nodeLimit,
 				TimeLimit: timeLimit,
 				Workers:   workers,
+				Naive:     naive,
 			},
 			KeepEggProgram:  emitEgg,
 			ExplainRewrites: explain,
@@ -139,13 +141,17 @@ func run(eggFiles []string, ruleSet string, emitEgg, canon, greedy, noDialEgg bo
 		if stats {
 			fmt.Fprintf(os.Stderr, "rules: %d, translated ops: %d, opaque ops: %d\n",
 				rep.NumRules, rep.NumTranslatedOps, rep.NumOpaqueOps)
-			fmt.Fprintf(os.Stderr, "saturation: %d iterations, %d nodes, stop: %s, workers: %d\n",
-				rep.Run.Iterations, rep.Run.Nodes, rep.Run.Stop, rep.Run.Workers)
+			fmt.Fprintf(os.Stderr, "saturation: %d iterations, %d nodes, stop: %s, workers: %d, rows scanned: %d\n",
+				rep.Run.Iterations, rep.Run.Nodes, rep.Run.Stop, rep.Run.Workers, rep.Run.RowsScanned)
 			fmt.Fprintf(os.Stderr, "times: mlir->egg %v, egglog %v (saturation %v = match %v + apply %v + rebuild %v), egg->mlir %v\n",
 				rep.MLIRToEgg, rep.EggTotal, rep.Saturation, rep.SatMatch, rep.SatApply, rep.SatRebuild, rep.EggToMLIR)
 			for i, it := range rep.Run.PerIter {
-				fmt.Fprintf(os.Stderr, "  iter %d: %d matches, %d unions, %d nodes, match %v, apply %v, rebuild %v (%d passes)\n",
-					i+1, it.Matches, it.Unions, it.Nodes, it.MatchTime, it.ApplyTime, it.RebuildTime, it.RebuildPasses)
+				mode := "full"
+				if it.SemiNaive {
+					mode = "delta"
+				}
+				fmt.Fprintf(os.Stderr, "  iter %d (%s): %d matches, %d unions, %d nodes, %d delta rows, %d scanned, match %v, apply %v, rebuild %v (%d passes)\n",
+					i+1, mode, it.Matches, it.Unions, it.Nodes, it.DeltaRows, it.RowsScanned, it.MatchTime, it.ApplyTime, it.RebuildTime, it.RebuildPasses)
 			}
 			fmt.Fprintf(os.Stderr, "extracted cost: %d\n", rep.ExtractCost)
 		}

@@ -27,15 +27,16 @@ func main() {
 	stats := flag.Bool("stats", false, "print e-graph and saturation statistics after execution")
 	proofs := flag.Bool("proofs", false, "record union provenance so (explain a b) works")
 	workers := flag.Int("workers", 0, "match-phase worker pool size for (run ...) (0 = GOMAXPROCS, 1 = serial)")
+	naive := flag.Bool("naive", false, "disable semi-naive (delta-frontier) matching for (run ...)")
 	flag.Parse()
 
-	if err := run(*dotPath, *stats, *proofs, *workers); err != nil {
+	if err := run(*dotPath, *stats, *proofs, *workers, *naive); err != nil {
 		fmt.Fprintln(os.Stderr, "egglog:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dotPath string, stats, proofs bool, workers int) error {
+func run(dotPath string, stats, proofs bool, workers int, naive bool) error {
 	var src []byte
 	var err error
 	switch flag.NArg() {
@@ -59,6 +60,7 @@ func run(dotPath string, stats, proofs bool, workers int) error {
 		p.Graph().EnableExplanations()
 	}
 	p.RunDefaults.Workers = workers
+	p.RunDefaults.Naive = naive
 	// Execute command by command so results interleave with their
 	// commands, like the reference egglog REPL.
 	for _, n := range nodes {
@@ -98,11 +100,15 @@ func run(dotPath string, stats, proofs bool, workers int) error {
 		fmt.Fprintf(os.Stderr, "e-graph: %d nodes, %d classes, %d rules\n",
 			g.NumNodes(), g.NumClasses(), p.NumRules())
 		if last := p.LastRun; last.Iterations > 0 {
-			fmt.Fprintf(os.Stderr, "last run: %d iterations, workers %d, match %v, apply %v, rebuild %v\n",
-				last.Iterations, last.Workers, last.MatchTime, last.ApplyTime, last.RebuildTime)
+			fmt.Fprintf(os.Stderr, "last run: %d iterations, workers %d, rows scanned %d, match %v, apply %v, rebuild %v\n",
+				last.Iterations, last.Workers, last.RowsScanned, last.MatchTime, last.ApplyTime, last.RebuildTime)
 			for i, it := range last.PerIter {
-				fmt.Fprintf(os.Stderr, "  iter %d: %d matches, %d unions, %d nodes, match %v, apply %v, rebuild %v (%d passes)\n",
-					i+1, it.Matches, it.Unions, it.Nodes, it.MatchTime, it.ApplyTime, it.RebuildTime, it.RebuildPasses)
+				mode := "full"
+				if it.SemiNaive {
+					mode = "delta"
+				}
+				fmt.Fprintf(os.Stderr, "  iter %d (%s): %d matches, %d unions, %d nodes, %d delta rows, %d scanned, match %v, apply %v, rebuild %v (%d passes)\n",
+					i+1, mode, it.Matches, it.Unions, it.Nodes, it.DeltaRows, it.RowsScanned, it.MatchTime, it.ApplyTime, it.RebuildTime, it.RebuildPasses)
 			}
 		}
 	}

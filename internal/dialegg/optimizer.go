@@ -23,6 +23,11 @@ type Options struct {
 	// (0 = GOMAXPROCS, 1 = serial). A non-zero RunConfig.Workers wins.
 	// Extraction results are identical for every worker count.
 	Workers int
+	// Naive disables semi-naive (delta-frontier) rule matching, making
+	// every iteration re-match the full database. Results are identical
+	// either way; naive exists as an escape hatch and for benchmarking.
+	// A set RunConfig.Naive wins.
+	Naive bool
 	// KeepEggProgram stores the generated egglog program text in the
 	// report (for debugging and the egg-opt --emit-egg flag).
 	KeepEggProgram bool
@@ -174,6 +179,9 @@ func (o *Optimizer) OptimizeFunc(f *mlir.Operation) (*mlir.Operation, *Report, e
 	cfg := o.opts.RunConfig
 	if cfg.Workers == 0 {
 		cfg.Workers = o.opts.Workers
+	}
+	if !cfg.Naive {
+		cfg.Naive = o.opts.Naive
 	}
 	run := p.RunRules(cfg)
 	if run.Err != nil {

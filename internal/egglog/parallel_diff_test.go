@@ -81,13 +81,15 @@ var diffPrograms = []struct {
 `},
 }
 
-// runFingerprint executes src with the given worker count and returns a
-// string folding every observable output: extraction terms and costs,
-// check results, and the final graph's node/class/union counts.
-func runFingerprint(t *testing.T, src string, workers int) string {
+// runFingerprint executes src with the given worker count and match mode
+// and returns a string folding every observable output: extraction terms
+// and costs, check results, and the final graph's node/class/union
+// counts.
+func runFingerprint(t *testing.T, src string, workers int, naive bool) string {
 	t.Helper()
 	p := egglog.NewProgram()
 	p.RunDefaults.Workers = workers
+	p.RunDefaults.Naive = naive
 	results, err := p.ExecuteString(src)
 	if err != nil {
 		t.Fatalf("workers=%d: %v", workers, err)
@@ -115,8 +117,8 @@ func runFingerprint(t *testing.T, src string, workers int) string {
 func TestParallelDiffEgglogPrograms(t *testing.T) {
 	for _, tc := range diffPrograms {
 		t.Run(tc.name, func(t *testing.T) {
-			serial := runFingerprint(t, tc.src, 1)
-			parallel := runFingerprint(t, tc.src, 8)
+			serial := runFingerprint(t, tc.src, 1, false)
+			parallel := runFingerprint(t, tc.src, 8, false)
 			if serial != parallel {
 				t.Errorf("workers=8 diverged from workers=1:\n--- serial ---\n%s--- parallel ---\n%s", serial, parallel)
 			}
@@ -125,9 +127,11 @@ func TestParallelDiffEgglogPrograms(t *testing.T) {
 }
 
 // optimizeFingerprint runs the full DialEgg pipeline on one benchmark
-// with the given worker count and folds the printed MLIR plus the
-// engine's determinism-relevant counters into a string.
-func optimizeFingerprint(t *testing.T, b *bench.Benchmark, workers int) string {
+// with the given worker count and match mode, folding the printed MLIR
+// plus the engine's determinism-relevant counters into a string. The
+// saturation report is returned alongside so callers can also compare
+// work counters (rows scanned) across modes.
+func optimizeFingerprint(t *testing.T, b *bench.Benchmark, workers int, naive bool) (string, *dialegg.Report) {
 	t.Helper()
 	reg := dialects.NewRegistry()
 	m, err := mlir.ParseModule(b.Source, reg)
@@ -138,10 +142,11 @@ func optimizeFingerprint(t *testing.T, b *bench.Benchmark, workers int) string {
 		RuleSources: b.Rules,
 		RunConfig:   b.RunConfig,
 		Workers:     workers,
+		Naive:       naive,
 	})
 	rep, err := opt.OptimizeModule(m)
 	if err != nil {
-		t.Fatalf("workers=%d: %v", workers, err)
+		t.Fatalf("workers=%d naive=%v: %v", workers, naive, err)
 	}
 	var unions uint64
 	for _, it := range rep.Run.PerIter {
@@ -149,7 +154,7 @@ func optimizeFingerprint(t *testing.T, b *bench.Benchmark, workers int) string {
 	}
 	return fmt.Sprintf("%s\n--- iters %d stop %s nodes %d classes %d unions %d cost %d dagcost %d\n",
 		mlir.PrintModule(m, reg), rep.Run.Iterations, rep.Run.Stop,
-		rep.Run.Nodes, rep.Run.Classes, unions, rep.ExtractCost, rep.ExtractDAGCost)
+		rep.Run.Nodes, rep.Run.Classes, unions, rep.ExtractCost, rep.ExtractDAGCost), rep
 }
 
 // TestParallelDiffBenchWorkloads: the determinism contract end-to-end —
@@ -158,8 +163,8 @@ func optimizeFingerprint(t *testing.T, b *bench.Benchmark, workers int) string {
 func TestParallelDiffBenchWorkloads(t *testing.T) {
 	for _, b := range bench.DefaultBenchmarks(bench.ScaleCI) {
 		t.Run(b.Name, func(t *testing.T) {
-			serial := optimizeFingerprint(t, b, 1)
-			parallel := optimizeFingerprint(t, b, 8)
+			serial, _ := optimizeFingerprint(t, b, 1, false)
+			parallel, _ := optimizeFingerprint(t, b, 8, false)
 			if serial != parallel {
 				t.Errorf("workers=8 diverged from workers=1:\n--- serial ---\n%s--- parallel ---\n%s", serial, parallel)
 			}

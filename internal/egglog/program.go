@@ -404,6 +404,9 @@ func (p *Program) RunRules(cfg egraph.RunConfig) egraph.RunReport {
 	if cfg.Workers == 0 {
 		cfg.Workers = p.RunDefaults.Workers
 	}
+	if !cfg.Naive {
+		cfg.Naive = p.RunDefaults.Naive
+	}
 	p.LastRun = p.g.Run(p.rules, cfg)
 	return p.LastRun
 }

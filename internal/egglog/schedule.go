@@ -80,6 +80,7 @@ func mergeReports(total *egraph.RunReport, rep egraph.RunReport) {
 	total.MatchTime += rep.MatchTime
 	total.ApplyTime += rep.ApplyTime
 	total.RebuildTime += rep.RebuildTime
+	total.RowsScanned += rep.RowsScanned
 	total.PerIter = append(total.PerIter, rep.PerIter...)
 	total.Nodes = rep.Nodes
 	total.Classes = rep.Classes

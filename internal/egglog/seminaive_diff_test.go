@@ -1,0 +1,71 @@
+package egglog_test
+
+// Differential tests for semi-naive (delta-frontier) matching at the
+// egglog-program and MLIR-pipeline levels. The contract: the default
+// mode — which from the second iteration of a run on only matches
+// sub-queries anchored at rows the previous iteration changed — produces
+// output byte-identical to naive full re-matching, for every worker
+// count, while scanning strictly fewer rows on real workloads.
+
+import (
+	"testing"
+
+	"dialegg/internal/bench"
+)
+
+// TestSemiNaiveDiffEgglogPrograms: every corpus program yields the same
+// fingerprint naive and semi-naive, serial and with 8 workers.
+func TestSemiNaiveDiffEgglogPrograms(t *testing.T) {
+	for _, tc := range diffPrograms {
+		t.Run(tc.name, func(t *testing.T) {
+			want := runFingerprint(t, tc.src, 1, true)
+			for _, mode := range []struct {
+				workers int
+				naive   bool
+			}{
+				{8, true},
+				{1, false},
+				{8, false},
+			} {
+				got := runFingerprint(t, tc.src, mode.workers, mode.naive)
+				if got != want {
+					t.Errorf("workers=%d naive=%v diverged from naive serial:\n--- want ---\n%s--- got ---\n%s",
+						mode.workers, mode.naive, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestSemiNaiveDiffBenchWorkloads: end-to-end over the paper's benchmark
+// workloads — semi-naive at 1 and 8 workers produces the exact MLIR,
+// costs, and union counts of naive matching, and from iteration 2 on it
+// scans strictly fewer rows than naive does.
+func TestSemiNaiveDiffBenchWorkloads(t *testing.T) {
+	for _, b := range bench.DefaultBenchmarks(bench.ScaleCI) {
+		t.Run(b.Name, func(t *testing.T) {
+			want, naiveRep := optimizeFingerprint(t, b, 1, true)
+			for _, workers := range []int{1, 8} {
+				got, semiRep := optimizeFingerprint(t, b, workers, false)
+				if got != want {
+					t.Errorf("semi-naive workers=%d diverged from naive:\n--- want ---\n%s--- got ---\n%s",
+						workers, want, got)
+					continue
+				}
+				// Rows scanned from the second iteration on (the first is a
+				// full match in both modes).
+				var naiveTail, semiTail int64
+				for _, it := range naiveRep.Run.PerIter[1:] {
+					naiveTail += it.RowsScanned
+				}
+				for _, it := range semiRep.Run.PerIter[1:] {
+					semiTail += it.RowsScanned
+				}
+				if semiRep.Run.Iterations > 1 && semiTail >= naiveTail {
+					t.Errorf("workers=%d: semi-naive scanned %d rows after iteration 1, naive %d — want strictly fewer",
+						workers, semiTail, naiveTail)
+				}
+			}
+		})
+	}
+}

@@ -37,6 +37,19 @@ type EGraph struct {
 	// createdBy maps each e-class element to the constructor application
 	// that created it (proof rendering); populated when trackOrig is on.
 	createdBy map[uint32]createdRef
+	// epoch is the semi-naive matching clock: rows inserted or changed
+	// during the current epoch form the delta the next match iteration
+	// scans. advanceFrontier closes an epoch.
+	epoch uint64
+	// snapRoots, when non-nil, freezes canonicalization for the apply
+	// phase: canonFind resolves eq-sort values through this
+	// iteration-start root snapshot instead of the live union-find, so
+	// unions performed while applying a batch of matches cannot change
+	// the table keys later matches in the same batch compute. This is
+	// what makes re-applying an already-applied match a guaranteed
+	// no-op, which in turn makes semi-naive matching (which skips those
+	// re-applications) bit-identical to naive matching.
+	snapRoots []uint32
 }
 
 // createdRef locates the e-node whose insertion created a class element.
@@ -53,6 +66,7 @@ func New() *EGraph {
 		uf:      unionfind.New(),
 		strings: newStringPool(),
 		vecs:    newVecPool(),
+		epoch:   1,
 	}
 	g.I64 = g.mustAddSort(&Sort{Name: "i64", Kind: KindI64})
 	g.F64 = g.mustAddSort(&Sort{Name: "f64", Kind: KindF64})
@@ -118,7 +132,7 @@ func (g *EGraph) DeclareFunction(f *Function) (*Function, error) {
 	if f.Cost == 0 && f.IsConstructor() {
 		f.Cost = 1
 	}
-	f.table = newTable()
+	f.table = newTable(len(f.Params))
 	f.table.trackOrig = g.trackOrig
 	g.funcs = append(g.funcs, f)
 	g.funcsBy[f.Name] = f
@@ -185,6 +199,60 @@ func (g *EGraph) Find(v Value) Value {
 	}
 }
 
+// beginFrozenApply snapshots every class's canonical root. Installed by
+// the saturation runner around the apply phase so that table writes key
+// on the iteration-start canonicalization regardless of the unions the
+// phase itself performs (egg's batch semantics: match on the frozen
+// graph, apply the whole batch, then rebuild).
+func (g *EGraph) beginFrozenApply() {
+	n := g.uf.Len()
+	roots := make([]uint32, n)
+	for i := range roots {
+		roots[i] = g.uf.Find(uint32(i))
+	}
+	g.snapRoots = roots
+}
+
+// endFrozenApply restores live canonicalization (before Rebuild runs).
+func (g *EGraph) endFrozenApply() { g.snapRoots = nil }
+
+// canonFind canonicalizes like Find, except while a frozen-apply
+// snapshot is installed, where eq-sort values resolve through the
+// iteration-start snapshot. Classes created after the snapshot are
+// their own canonical representative (they existed in no earlier
+// union). Outside the apply phase it is exactly Find.
+func (g *EGraph) canonFind(v Value) Value {
+	if g.snapRoots == nil {
+		return g.Find(v)
+	}
+	switch v.Sort.Kind {
+	case KindEq:
+		if v.Bits < uint64(len(g.snapRoots)) {
+			return Value{Sort: v.Sort, Bits: uint64(g.snapRoots[v.Bits])}
+		}
+		return v
+	case KindVec:
+		elems := g.vecs.get(uint32(v.Bits))
+		changed := false
+		for _, e := range elems {
+			if f := g.canonFind(e); f.Bits != e.Bits {
+				changed = true
+				break
+			}
+		}
+		if !changed {
+			return v
+		}
+		canon := make([]Value, len(elems))
+		for i, e := range elems {
+			canon[i] = g.canonFind(e)
+		}
+		return Value{Sort: v.Sort, Bits: uint64(g.vecs.intern(canon))}
+	default:
+		return v
+	}
+}
+
 // Eq reports whether two values are equal modulo the union-find.
 func (g *EGraph) Eq(a, b Value) bool {
 	if a.Sort != b.Sort {
@@ -206,7 +274,7 @@ func (g *EGraph) canonArgs(f *Function, args []Value) ([]Value, error) {
 		if a.Sort != f.Params[i] {
 			return nil, fmt.Errorf("egraph: %s arg %d: have sort %s, want %s", f.Name, i, a.Sort, f.Params[i])
 		}
-		canon[i] = g.Find(a)
+		canon[i] = g.canonFind(a)
 	}
 	return canon, nil
 }
@@ -235,7 +303,7 @@ func (g *EGraph) Insert(f *Function, args ...Value) (Value, error) {
 	} else {
 		out = Value{Sort: g.Unit}
 	}
-	f.table.insert(canon, out)
+	f.table.insert(canon, out, g.epoch)
 	f.table.invalidateArgIndex()
 	if g.trackOrig && f.IsConstructor() {
 		if g.createdBy == nil {
@@ -283,10 +351,13 @@ func (g *EGraph) Set(f *Function, args []Value, out Value) error {
 	if err != nil {
 		return err
 	}
-	out = g.Find(out)
+	out = g.canonFind(out)
 	key := argsKey(canon)
 	if i, ok := f.table.index[key]; ok {
 		if f.IsConstructor() {
+			// The union (when effective) dirties the graph; the next
+			// Rebuild detects the row's canonical output change through
+			// outCanon and stamps it into the frontier.
 			merged, err := g.Union(f.table.rows[i].out, out)
 			if err != nil {
 				return fmt.Errorf("egraph: merge %s: %w", f.Name, err)
@@ -298,12 +369,32 @@ func (g *EGraph) Set(f *Function, args []Value, out Value) error {
 		if err != nil {
 			return fmt.Errorf("egraph: merge %s: %w", f.Name, err)
 		}
-		f.table.rows[i].out = merged
+		if merged.Bits != f.table.rows[i].out.Bits {
+			// A primitive merge can change the value without any union,
+			// so the frontier stamp must happen here (no Rebuild runs).
+			f.table.rows[i].out = merged
+			f.table.rows[i].outCanon = merged.Bits
+			f.table.touch(i, g.epoch)
+			f.table.invalidateArgIndex()
+		}
 		return nil
 	}
-	f.table.insert(canon, out)
+	f.table.insert(canon, out, g.epoch)
 	f.table.invalidateArgIndex()
 	return nil
+}
+
+// advanceFrontier closes the current epoch: every table's rows touched
+// since the previous call become its match frontier, and subsequent
+// changes open a new delta. It returns the number of live frontier rows
+// and the minimum stamp a row must carry to count as delta.
+func (g *EGraph) advanceFrontier() (deltaRows int, minStamp uint64) {
+	minStamp = g.epoch
+	for _, f := range g.funcs {
+		deltaRows += f.table.rotateFrontier()
+	}
+	g.epoch++
+	return deltaRows, minStamp
 }
 
 // TotalRows counts live rows across every table (constructors, analyses,
@@ -441,8 +532,10 @@ func (g *EGraph) Rebuild() int {
 			break
 		}
 	}
-	// Rows were re-canonicalized; the per-argument match indexes are stale.
+	// Rows were re-canonicalized; the per-argument match indexes are
+	// stale, and tables dominated by tombstones are worth compacting.
 	for _, f := range g.funcs {
+		f.table.maybeCompact()
 		f.table.invalidateArgIndex()
 	}
 	g.dirty = false
@@ -471,11 +564,19 @@ func (g *EGraph) rebuildTable(f *Function) bool {
 		}
 		// r.out is deliberately left at its original identity: callers
 		// canonicalize through Find, and proof production (Explain) is
-		// anchored at original e-node IDs.
+		// anchored at original e-node IDs. The cached canonical bits are
+		// refreshed instead — a row whose output class was merged away is
+		// part of the semi-naive delta even though no argument moved, or
+		// output-side joins against it would be missed.
+		if oc := g.Find(r.out).Bits; oc != r.outCanon {
+			r.outCanon = oc
+			t.touch(i, g.epoch)
+		}
 		if !stale {
 			continue
 		}
 		changed = true
+		t.touch(i, g.epoch)
 		key := argsKey(r.args)
 		if j, ok := t.index[key]; ok && j != i {
 			// Collision: merge outputs into the existing row, kill this one.
@@ -502,8 +603,10 @@ func (g *EGraph) rebuildTable(f *Function) bool {
 				}
 			} else if f.Out.Kind != KindUnit {
 				merged, err := f.Merge(other.out, r.out)
-				if err == nil {
+				if err == nil && merged.Bits != other.out.Bits {
 					other.out = merged
+					other.outCanon = merged.Bits
+					t.touch(j, g.epoch)
 				}
 				// A merge error during rebuild means two congruent
 				// applications disagreed; keep the existing value. This can

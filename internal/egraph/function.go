@@ -2,7 +2,9 @@ package egraph
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // MergeFn resolves a conflict when two table rows with the same canonical
@@ -74,68 +76,170 @@ func (f *Function) String() string { return f.Name }
 // Find); orig preserves the as-inserted argument tuple when proof
 // recording is on, so congruence justifications can explain child
 // equalities.
+//
+// stamp is the e-graph epoch at which the row last changed: inserted, had
+// an argument re-canonicalized, or had its output move to a different
+// canonical class. Semi-naive matching uses it to restrict sub-queries to
+// the delta since the previous iteration. outCanon caches Find(out).Bits
+// so Rebuild can detect output-side changes without rewriting out (which
+// deliberately keeps its original identity for proof anchoring); it also
+// keys the out-column match index.
 type row struct {
-	args []Value
-	out  Value
-	dead bool
-	orig []Value
+	args     []Value
+	out      Value
+	dead     bool
+	orig     []Value
+	stamp    uint64
+	outCanon uint64
 }
 
+// argIdx maps a canonical value's bits to the (ascending) row slots
+// holding it at one column.
+type argIdx = map[uint64][]int32
+
 // table stores the rows of one function with an index from the encoded
-// canonical argument tuple to the row slot. Rows are append-only; a row
+// canonical argument tuple to the row slot. Rows are append-mostly; a row
 // whose canonical key collides with another during rebuilding is marked
-// dead. Iteration order is therefore deterministic (insertion order).
+// dead, and Rebuild compacts a table once dead rows dominate (preserving
+// relative order, so iteration stays deterministic).
 //
-// argIndex (built lazily per argument position, invalidated by unions and
-// refreshed after Rebuild) maps a canonical argument value to the rows
-// holding it, accelerating partially-bound e-matching joins.
+// argIndex (built lazily per column, invalidated by unions and refreshed
+// after Rebuild) maps a canonical value to the rows holding it,
+// accelerating partially-bound e-matching joins. Position Arity() is the
+// output column, keyed by outCanon. Each slot is an atomic pointer with a
+// per-position build mutex, so concurrent match workers racing on
+// different columns never serialize on each other.
+//
+// pending accumulates rows touched during the current epoch (deduplicated
+// via row.stamp); rotateFrontier moves them into frontier, the sorted
+// delta the next match iteration scans.
 type table struct {
 	rows  []row
 	index map[string]int
 	live  int
 	// trackOrig preserves as-inserted argument tuples (proof recording).
+	// It also disables compaction: proof rendering holds row indices.
 	trackOrig bool
-	// argIndexMu guards argIndex: lazy builds can race during the
-	// concurrent match phase.
-	argIndexMu sync.Mutex
-	// argIndex[i] maps canonical Bits of argument i to row slots; nil when
-	// not built or stale.
-	argIndex []map[uint64][]int32
+
+	argIndex   []atomic.Pointer[argIdx]
+	argIndexMu []sync.Mutex
+
+	pending  []int32
+	frontier []int32
 }
 
-func newTable() *table {
-	return &table{index: make(map[string]int)}
+func newTable(arity int) *table {
+	return &table{
+		index:      make(map[string]int),
+		argIndex:   make([]atomic.Pointer[argIdx], arity+1),
+		argIndexMu: make([]sync.Mutex, arity+1),
+	}
 }
 
-// invalidateArgIndex drops the per-argument indexes (after unions).
+// invalidateArgIndex drops the per-column indexes (after unions/inserts).
+// Only called from serial phases (insert, apply, Rebuild), never
+// concurrently with match-phase builds.
 func (t *table) invalidateArgIndex() {
-	t.argIndexMu.Lock()
-	t.argIndex = nil
-	t.argIndexMu.Unlock()
+	for i := range t.argIndex {
+		t.argIndex[i].Store(nil)
+	}
 }
 
-// buildArgIndex constructs the index for argument position i over live
-// rows (which must be canonical, i.e. right after Rebuild). Safe for
-// concurrent callers.
-func (t *table) buildArgIndex(i, arity int) map[uint64][]int32 {
-	t.argIndexMu.Lock()
-	defer t.argIndexMu.Unlock()
-	if t.argIndex == nil {
-		t.argIndex = make([]map[uint64][]int32, arity)
+// buildArgIndex returns (building on first use) the index for column i —
+// an argument position, or the output column when i == arity. Rows must
+// be canonical (right after Rebuild). Safe for concurrent callers; racers
+// on different columns do not contend.
+func (t *table) buildArgIndex(i, arity int) argIdx {
+	if p := t.argIndex[i].Load(); p != nil {
+		return *p
 	}
-	if t.argIndex[i] != nil {
-		return t.argIndex[i]
+	t.argIndexMu[i].Lock()
+	defer t.argIndexMu[i].Unlock()
+	if p := t.argIndex[i].Load(); p != nil {
+		return *p
 	}
-	idx := make(map[uint64][]int32, t.live)
+	idx := make(argIdx, t.live)
 	for r := range t.rows {
 		row := &t.rows[r]
 		if row.dead {
 			continue
 		}
-		idx[row.args[i].Bits] = append(idx[row.args[i].Bits], int32(r))
+		bits := row.outCanon
+		if i < arity {
+			bits = row.args[i].Bits
+		}
+		idx[bits] = append(idx[bits], int32(r))
 	}
-	t.argIndex[i] = idx
+	t.argIndex[i].Store(&idx)
 	return idx
+}
+
+// touch records that row i changed during epoch: semi-naive matching must
+// re-examine it next iteration. Idempotent within an epoch.
+func (t *table) touch(i int, epoch uint64) {
+	r := &t.rows[i]
+	if r.stamp == epoch {
+		return
+	}
+	r.stamp = epoch
+	t.pending = append(t.pending, int32(i))
+}
+
+// rotateFrontier moves the rows touched during the closing epoch into the
+// match frontier (sorted ascending, so frontier scans enumerate matches in
+// the same relative order a full scan would) and returns the number of
+// live delta rows.
+func (t *table) rotateFrontier() int {
+	t.frontier, t.pending = t.pending, t.frontier[:0]
+	sort.Slice(t.frontier, func(a, b int) bool { return t.frontier[a] < t.frontier[b] })
+	n := 0
+	for _, ri := range t.frontier {
+		if !t.rows[ri].dead {
+			n++
+		}
+	}
+	return n
+}
+
+// compactMinDead is the smallest tombstone count worth compacting away.
+const compactMinDead = 64
+
+// maybeCompact rewrites the table without dead rows once they outnumber
+// live ones. Relative row order is preserved (scan order, and therefore
+// match order, is unchanged); pending is remapped and the frontier is
+// dropped (it is rebuilt by the next rotation before any delta match).
+// Disabled under proof recording, which anchors explanations at row slots.
+func (t *table) maybeCompact() {
+	dead := len(t.rows) - t.live
+	if t.trackOrig || dead < compactMinDead || dead*2 <= len(t.rows) {
+		return
+	}
+	remap := make([]int32, len(t.rows))
+	w := 0
+	for r := range t.rows {
+		if t.rows[r].dead {
+			remap[r] = -1
+			continue
+		}
+		remap[r] = int32(w)
+		if w != r {
+			t.rows[w] = t.rows[r]
+		}
+		w++
+	}
+	t.rows = t.rows[:w]
+	t.index = make(map[string]int, w)
+	for r := range t.rows {
+		t.index[argsKey(t.rows[r].args)] = r
+	}
+	pending := t.pending[:0]
+	for _, ri := range t.pending {
+		if ni := remap[ri]; ni >= 0 {
+			pending = append(pending, ni)
+		}
+	}
+	t.pending = pending
+	t.frontier = t.frontier[:0]
 }
 
 func argsKey(args []Value) string {
@@ -154,17 +258,24 @@ func (t *table) lookup(args []Value) (Value, bool) {
 	return t.rows[i].out, true
 }
 
+// lookupRow returns the slot of the row keyed by args.
+func (t *table) lookupRow(args []Value) (int, bool) {
+	i, ok := t.index[argsKey(args)]
+	return i, ok
+}
+
 // insert adds a row assuming args are canonical and no row with the same
-// key exists.
-func (t *table) insert(args []Value, out Value) {
+// key exists, stamping it with the current epoch.
+func (t *table) insert(args []Value, out Value, epoch uint64) {
 	key := argsKey(args)
 	stored := make([]Value, len(args))
 	copy(stored, args)
-	r := row{args: stored, out: out}
+	r := row{args: stored, out: out, stamp: epoch, outCanon: out.Bits}
 	if t.trackOrig {
 		r.orig = append([]Value(nil), args...)
 	}
 	t.index[key] = len(t.rows)
+	t.pending = append(t.pending, int32(len(t.rows)))
 	t.rows = append(t.rows, r)
 	t.live++
 }

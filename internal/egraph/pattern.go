@@ -198,54 +198,301 @@ func (g *EGraph) Match(r *Rule, yield func(binds []Value) bool) error {
 // evaluation — run entirely in the shard with lo == 0 and yield nothing
 // elsewhere.
 func (g *EGraph) MatchShard(r *Rule, lo, hi int, yield func(binds []Value) bool) error {
-	b := newBindings(r.NumSlots)
-	err := g.matchFrom(r, 0, lo, hi, b, yield)
-	if err == errStopMatch {
-		return nil
-	}
+	_, err := g.matchShard(r, matchSpec{deltaOrd: -1}, lo, hi, func(binds []Value, _ []int32) bool {
+		return yield(binds)
+	})
 	return err
 }
 
 // FirstPremiseRows reports the scan length of the rule's first premise:
 // the row count of its table for a TablePremise, 0 otherwise. The parallel
-// runner uses it to decide how many shards a rule is worth.
+// runner uses it to size shard ranges (shard boundaries partition the
+// whole backing slice, tombstones included).
 func (g *EGraph) FirstPremiseRows(r *Rule) int {
+	n, _ := g.firstPremiseScan(r)
+	return n
+}
+
+// firstPremiseScan reports the scan length (total rows — the shard
+// domain) and the live row count of the rule's leading table scan. The
+// runner decides how many shards a rule is worth from the live count, so
+// heavily-rebuilt tables full of tombstones are not over-split.
+func (g *EGraph) firstPremiseScan(r *Rule) (scanLen, live int) {
 	if len(r.Premises) == 0 {
-		return 0
+		return 0, 0
 	}
 	if p, ok := r.Premises[0].(*TablePremise); ok {
-		return len(p.Fn.table.rows)
+		return len(p.Fn.table.rows), p.Fn.table.live
 	}
-	return 0
+	return 0, 0
+}
+
+// tablePremises returns the indices of r's table premises in premise
+// order. The position of an index in the returned slice is the premise's
+// table ordinal, the coordinate system of semi-naive sub-queries and
+// match keys.
+func tablePremises(r *Rule) []int {
+	var tp []int
+	for i, p := range r.Premises {
+		if _, ok := p.(*TablePremise); ok {
+			tp = append(tp, i)
+		}
+	}
+	return tp
+}
+
+// deltaSeq plans the evaluation order for the semi-naive sub-query that
+// hoists premise `hoist` to the front: the remaining premises, greedily
+// ordered so each step prefers the cheapest access path given the
+// variables bound so far — a schedulable primitive evaluation, then a
+// fully-bound direct lookup, then an indexed scan (some argument or the
+// output determined), and a full table scan only when nothing connects.
+// Without this, hoisting a late premise would leave the rule's leading
+// premises unconstrained and re-scan their whole tables once per frontier
+// row. Reordering a conjunctive query never changes its match set, only
+// the enumeration order, which the runner's key sort restores; primitive
+// premises are only scheduled once their inputs are bound, so the
+// declared-order binding contract still holds. Ties break toward declared
+// order, keeping the plan deterministic.
+func deltaSeq(r *Rule, hoist int) []int {
+	bound := make([]bool, r.NumSlots)
+	bind := func(a Atom) {
+		if a.Kind == AtomVar {
+			bound[a.Slot] = true
+		}
+	}
+	known := func(a Atom) bool {
+		return a.Kind == AtomLit || bound[a.Slot]
+	}
+	bindPremise := func(p Premise) {
+		switch p := p.(type) {
+		case *TablePremise:
+			for _, a := range p.Args {
+				bind(a)
+			}
+			bind(p.Out)
+		case *EvalPremise:
+			bind(p.Out)
+		}
+	}
+	bindPremise(r.Premises[hoist])
+
+	used := make([]bool, len(r.Premises))
+	used[hoist] = true
+	seq := make([]int, 0, len(r.Premises)-1)
+	for len(seq) < len(r.Premises)-1 {
+		best, bestScore := -1, 99
+		for i, p := range r.Premises {
+			if used[i] {
+				continue
+			}
+			score := 99
+			switch p := p.(type) {
+			case *EvalPremise:
+				ready := true
+				for _, a := range p.Args {
+					if !known(a) {
+						ready = false
+						break
+					}
+				}
+				if !ready {
+					continue // inputs not bound yet; cannot run here
+				}
+				score = 0
+			case *TablePremise:
+				argsKnown, anyKnown := true, false
+				for _, a := range p.Args {
+					if known(a) {
+						anyKnown = true
+					} else {
+						argsKnown = false
+					}
+				}
+				switch {
+				case argsKnown:
+					score = 1 // direct hash lookup
+				case anyKnown || known(p.Out):
+					score = 2 // per-column index
+				default:
+					score = 3 // full scan
+				}
+			}
+			if score < bestScore {
+				bestScore, best = score, i
+			}
+		}
+		if best < 0 {
+			// Unreachable for well-formed rules (declared order is a valid
+			// schedule), but fall back to declared order rather than spin.
+			for i := range r.Premises {
+				if !used[i] {
+					best = i
+					break
+				}
+			}
+		}
+		seq = append(seq, best)
+		used[best] = true
+		bindPremise(r.Premises[best])
+	}
+	return seq
 }
 
 var errStopMatch = fmt.Errorf("egraph: match stopped")
 
-// matchFrom continues the query at premise i. lo/hi restrict the scan of
-// premise 0 only; recursive calls pass the unrestricted range.
-func (g *EGraph) matchFrom(r *Rule, i, lo, hi int, b *bindings, yield func([]Value) bool) error {
-	if i == len(r.Premises) {
-		snap := make([]Value, len(b.vals))
-		copy(snap, b.vals)
-		if !yield(snap) {
+// matchSpec selects which slice of a rule's match space one query
+// execution covers.
+//
+// deltaOrd < 0 runs the full (naive) query. deltaOrd == s runs the s-th
+// semi-naive sub-query: table premise s restricted to its table's delta
+// frontier, premises with ordinal < s restricted to old rows
+// (stamp < minStamp), premises with ordinal > s unrestricted. The
+// sub-queries for s = 0..k-1 partition exactly the matches that involve
+// at least one delta row — each such match is generated once, by the
+// sub-query whose ordinal is its first delta premise — and the matches
+// with no delta row are the ones the previous iteration already applied.
+type matchSpec struct {
+	deltaOrd int
+	minStamp uint64
+}
+
+// matchRun is the state of one shard's query execution.
+type matchRun struct {
+	g       *EGraph
+	r       *Rule
+	spec    matchSpec
+	hoist   int   // premise index of the delta premise; -1 for full match
+	ord     []int // premise index -> table ordinal (-1 for eval premises)
+	seq     []int // evaluation order: premise indices, hoist excluded
+	b       *bindings
+	key     []int32 // matched row slot per table ordinal
+	scratch []Value
+	scanned int64
+	yield   func(binds []Value, key []int32) bool
+}
+
+// matchShard runs one shard of the query selected by spec, yielding each
+// match's bindings along with its key — the vector of matched row slots
+// per table ordinal. Serial full matching enumerates keys in ascending
+// lexicographic order (scans, index candidate lists, and frontiers all
+// iterate ascending row slots), so sorting any union of sub-query yields
+// by key reproduces the exact relative order a naive match would produce.
+// For a full match (spec.deltaOrd < 0) lo/hi shard the leading premise's
+// table scan; for a sub-query they shard the delta premise's frontier.
+// Returns the number of rows scanned (loop visits plus direct lookups).
+func (g *EGraph) matchShard(r *Rule, spec matchSpec, lo, hi int, yield func(binds []Value, key []int32) bool) (int64, error) {
+	tp := tablePremises(r)
+	m := &matchRun{
+		g:     g,
+		r:     r,
+		spec:  spec,
+		hoist: -1,
+		ord:   make([]int, len(r.Premises)),
+		b:     newBindings(r.NumSlots),
+		key:   make([]int32, len(tp)),
+		yield: yield,
+	}
+	for i := range m.ord {
+		m.ord[i] = -1
+	}
+	for o, i := range tp {
+		m.ord[i] = o
+	}
+	var err error
+	if spec.deltaOrd >= 0 {
+		if spec.deltaOrd >= len(tp) {
+			return 0, fmt.Errorf("egraph: rule %s: sub-query %d of %d table premises", r.Name, spec.deltaOrd, len(tp))
+		}
+		m.hoist = tp[spec.deltaOrd]
+		m.seq = deltaSeq(r, m.hoist)
+		err = m.runDelta(lo, hi)
+	} else {
+		m.seq = make([]int, len(r.Premises))
+		for i := range m.seq {
+			m.seq[i] = i
+		}
+		err = m.matchFrom(0, lo, hi)
+	}
+	if err == errStopMatch {
+		err = nil
+	}
+	return m.scanned, err
+}
+
+// runDelta drives one semi-naive sub-query: the delta premise is matched
+// first against frontier[lo:hi] (binding its variables makes the
+// remaining old/unrestricted premises indexable), then the rest of the
+// query runs in declared order with the delta premise skipped. Hoisting a
+// premise to the front never unbinds an eval premise's inputs — every
+// original predecessor still runs first — and cannot change the match
+// set of a conjunctive query, only the enumeration order, which the key
+// sort restores.
+func (m *matchRun) runDelta(lo, hi int) error {
+	p := m.r.Premises[m.hoist].(*TablePremise)
+	t := p.Fn.table
+	fr := t.frontier
+	if hi < 0 || hi > len(fr) {
+		hi = len(fr)
+	}
+	for k := lo; k < hi; k++ {
+		ri := int(fr[k])
+		m.scanned++
+		row := &t.rows[ri]
+		if row.dead {
+			continue
+		}
+		if err := m.matchRow(p, row, int32(ri), m.hoist, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// matchFrom continues the query at position pos of the evaluation
+// sequence. lo/hi restrict the scan of the first position only; recursive
+// calls pass the unrestricted range.
+func (m *matchRun) matchFrom(pos, lo, hi int) error {
+	if pos == len(m.seq) {
+		snap := make([]Value, len(m.b.vals))
+		copy(snap, m.b.vals)
+		if !m.yield(snap, m.key) {
 			return errStopMatch
 		}
 		return nil
 	}
-	switch p := r.Premises[i].(type) {
+	i := m.seq[pos]
+	switch p := m.r.Premises[i].(type) {
 	case *TablePremise:
-		return g.matchTable(r, i, lo, hi, p, b, yield)
+		return m.matchTable(pos, i, lo, hi, p)
 	case *EvalPremise:
 		if lo > 0 {
 			return nil // non-scan premise: handled wholly by the first shard
 		}
-		return g.matchEval(r, i, p, b, yield)
+		return m.matchEval(pos, i, p)
 	default:
 		return fmt.Errorf("egraph: unknown premise type %T", p)
 	}
 }
 
-func (g *EGraph) matchTable(r *Rule, i, lo, hi int, p *TablePremise, b *bindings, yield func([]Value) bool) error {
+// oldOnly reports whether premise i is restricted to pre-delta rows in
+// this sub-query.
+func (m *matchRun) oldOnly(i int) bool {
+	return m.spec.deltaOrd >= 0 && m.ord[i] < m.spec.deltaOrd
+}
+
+// args returns the reusable scratch argument buffer; its contents are
+// consumed (copied or decoded) by lookups and primitives before any
+// recursion, so one buffer per run suffices.
+func (m *matchRun) args(n int) []Value {
+	if cap(m.scratch) < n {
+		m.scratch = make([]Value, n)
+	}
+	return m.scratch[:n]
+}
+
+func (m *matchRun) matchTable(pos, i, lo, hi int, p *TablePremise) error {
+	g, b := m.g, m.b
 	// Fast path: all argument atoms already determined — direct lookup.
 	allBound := true
 	for _, a := range p.Args {
@@ -254,24 +501,31 @@ func (g *EGraph) matchTable(r *Rule, i, lo, hi int, p *TablePremise, b *bindings
 			break
 		}
 	}
+	t := p.Fn.table
 	if allBound {
 		if lo > 0 {
 			return nil // single-lookup premise: first shard owns it
 		}
-		args := make([]Value, len(p.Args))
+		args := m.args(len(p.Args))
 		for j, a := range p.Args {
 			v, _ := b.get(g, a)
 			args[j] = v
 		}
-		out, ok := g.LookupRaw(p.Fn, args...)
+		m.scanned++
+		ri, ok := t.lookupRow(args)
 		if !ok {
 			return nil
 		}
-		undo, ok := b.match(g, p.Out, out)
+		row := &t.rows[ri]
+		if m.oldOnly(i) && row.stamp >= m.spec.minStamp {
+			return nil
+		}
+		undo, ok := b.match(g, p.Out, row.out)
 		if !ok {
 			return nil
 		}
-		err := g.matchFrom(r, i+1, 0, -1, b, yield)
+		m.key[m.ord[i]] = int32(ri)
+		err := m.matchFrom(pos+1, 0, -1)
 		if undo >= 0 {
 			b.bound[undo] = false
 		}
@@ -279,23 +533,29 @@ func (g *EGraph) matchTable(r *Rule, i, lo, hi int, p *TablePremise, b *bindings
 	}
 
 	// General path: scan the table, or — when the graph is clean (rows
-	// canonical) and some argument is already determined — only the rows
-	// sharing that argument, via the per-position index. This turns the
-	// two-premise joins of rules like matmul associativity from quadratic
-	// scans into hash lookups.
-	t := p.Fn.table
+	// canonical) and some argument or the output is already determined —
+	// only the rows sharing that value, via the per-column index. This
+	// turns the two-premise joins of rules like matmul associativity from
+	// quadratic scans into hash lookups, on whichever side of the join the
+	// bound variable lands.
 	var candidates []int32
 	useIndex := false
 	if g.Clean() {
-		for j, a := range p.Args {
-			v, ok := b.get(g, a)
-			if !ok {
-				continue
+		consider := func(col int, v Value) {
+			idx := t.buildArgIndex(col, len(p.Args))
+			c := idx[v.Bits]
+			if !useIndex || len(c) < len(candidates) {
+				candidates = c
+				useIndex = true
 			}
-			idx := t.buildArgIndex(j, len(p.Args))
-			candidates = idx[v.Bits]
-			useIndex = true
-			break
+		}
+		for j, a := range p.Args {
+			if v, ok := b.get(g, a); ok {
+				consider(j, v)
+			}
+		}
+		if v, ok := b.get(g, p.Out); ok {
+			consider(len(p.Args), v)
 		}
 	}
 	// Snapshot the current length: actions of other rules must not be
@@ -314,6 +574,7 @@ func (g *EGraph) matchTable(r *Rule, i, lo, hi int, p *TablePremise, b *bindings
 			n = hi
 		}
 	}
+	oldOnly := m.oldOnly(i)
 	var undos []int
 rows:
 	for k := start; k < n; k++ {
@@ -321,8 +582,9 @@ rows:
 		if useIndex {
 			ri = int(candidates[k])
 		}
+		m.scanned++
 		row := &t.rows[ri]
-		if row.dead {
+		if row.dead || (oldOnly && row.stamp >= m.spec.minStamp) {
 			continue
 		}
 		undos = undos[:0]
@@ -337,14 +599,14 @@ rows:
 				}
 				continue rows
 			}
-			_ = j
 		}
 		undo, ok := b.match(g, p.Out, row.out)
 		if undo >= 0 {
 			undos = append(undos, undo)
 		}
 		if ok {
-			if err := g.matchFrom(r, i+1, 0, -1, b, yield); err != nil {
+			m.key[m.ord[i]] = int32(ri)
+			if err := m.matchFrom(pos+1, 0, -1); err != nil {
 				for _, u := range undos {
 					b.bound[u] = false
 				}
@@ -358,12 +620,45 @@ rows:
 	return nil
 }
 
-func (g *EGraph) matchEval(r *Rule, i int, p *EvalPremise, b *bindings, yield func([]Value) bool) error {
-	args := make([]Value, len(p.Args))
+// matchRow binds premise i's atoms against one concrete row (the hoisted
+// delta premise), records its key, and continues the query from nextFrom.
+func (m *matchRun) matchRow(p *TablePremise, row *row, ri int32, i, nextFrom int) error {
+	g, b := m.g, m.b
+	var undos []int
+	for j, a := range p.Args {
+		undo, ok := b.match(g, a, g.Find(row.args[j]))
+		if undo >= 0 {
+			undos = append(undos, undo)
+		}
+		if !ok {
+			for _, u := range undos {
+				b.bound[u] = false
+			}
+			return nil
+		}
+	}
+	undo, ok := b.match(g, p.Out, row.out)
+	if undo >= 0 {
+		undos = append(undos, undo)
+	}
+	var err error
+	if ok {
+		m.key[m.ord[i]] = ri
+		err = m.matchFrom(nextFrom, 0, -1)
+	}
+	for _, u := range undos {
+		b.bound[u] = false
+	}
+	return err
+}
+
+func (m *matchRun) matchEval(pos, i int, p *EvalPremise) error {
+	g, b := m.g, m.b
+	args := m.args(len(p.Args))
 	for j, a := range p.Args {
 		v, ok := b.get(g, a)
 		if !ok {
-			return fmt.Errorf("egraph: rule %s: primitive %s argument %d unbound (premise ordering)", r.Name, p.Prim.Name, j)
+			return fmt.Errorf("egraph: rule %s: primitive %s argument %d unbound (premise ordering)", m.r.Name, p.Prim.Name, j)
 		}
 		args[j] = v
 	}
@@ -378,7 +673,7 @@ func (g *EGraph) matchEval(r *Rule, i int, p *EvalPremise, b *bindings, yield fu
 		}
 		return nil
 	}
-	err := g.matchFrom(r, i+1, 0, -1, b, yield)
+	err := m.matchFrom(pos+1, 0, -1)
 	if undo >= 0 {
 		b.bound[undo] = false
 	}
@@ -386,13 +681,16 @@ func (g *EGraph) matchEval(r *Rule, i int, p *EvalPremise, b *bindings, yield fu
 }
 
 // EvalATerm evaluates an action term under the given bindings, inserting
-// e-nodes for constructor applications.
+// e-nodes for constructor applications. Canonicalization goes through
+// canonFind: inside the runner's apply phase values resolve against the
+// iteration-start snapshot, so the terms a match produces do not depend
+// on unions applied earlier in the same batch.
 func (g *EGraph) EvalATerm(t *ATerm, binds []Value) (Value, error) {
 	switch t.Kind {
 	case AVar:
-		return g.Find(binds[t.Slot]), nil
+		return g.canonFind(binds[t.Slot]), nil
 	case ALit:
-		return g.Find(t.Lit), nil
+		return g.canonFind(t.Lit), nil
 	case AApp:
 		args := make([]Value, len(t.Args))
 		for i, a := range t.Args {

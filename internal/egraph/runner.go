@@ -3,6 +3,7 @@ package egraph
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 )
@@ -34,6 +35,18 @@ type RunConfig struct {
 	// task's duration, making the match phase's parallelism observable
 	// (per-shard work and its balance across workers).
 	RecordTaskTimes bool
+	// Naive disables semi-naive delta matching, re-matching every rule
+	// against the entire database each iteration. Semi-naive mode (the
+	// default) matches only against rows inserted or re-canonicalized
+	// since the previous iteration from iteration 2 onward; it applies
+	// exactly the matches that are new, in the same relative order, so
+	// the resulting e-graph is identical. Two caveats: MergeOverwrite
+	// tables, whose last-writer-wins outputs can depend on naive mode's
+	// redundant re-applications, and runs stopped by MatchLimit, where
+	// each mode truncates a different prefix of the per-rule match list
+	// (naive counts already-seen matches toward the cap). Within either
+	// mode, results stay identical for every worker count.
+	Naive bool
 }
 
 func (c RunConfig) withDefaults() RunConfig {
@@ -86,6 +99,10 @@ type RunReport struct {
 	MatchTime   time.Duration
 	ApplyTime   time.Duration
 	RebuildTime time.Duration
+	// RowsScanned totals the match phase's row visits (scan loop
+	// iterations plus direct lookups) across all iterations — the
+	// quantity semi-naive matching shrinks.
+	RowsScanned int64
 	// PerIter records per-iteration statistics for scalability studies.
 	PerIter []IterStats
 	// Err holds the first rule error, if Stop == StopRuleError.
@@ -110,6 +127,17 @@ type IterStats struct {
 	// TaskTimes holds each match task's duration in task-plan order
 	// (rule-major, shard-minor) when RunConfig.RecordTaskTimes is set.
 	TaskTimes []time.Duration
+	// RowsScanned counts the iteration's match-phase row visits (scan
+	// loop iterations plus direct lookups) summed over all tasks.
+	RowsScanned int64
+	// DeltaRows is the size of the iteration's delta frontier: the live
+	// rows inserted or re-canonicalized during the previous iteration,
+	// which is all semi-naive matching scans at the top level.
+	DeltaRows int
+	// SemiNaive reports whether this iteration matched delta-restricted
+	// sub-queries (false for naive mode and for every run's first
+	// iteration, which must match the full database).
+	SemiNaive bool
 }
 
 // Saturated reports whether the run reached a fixed point.
@@ -122,14 +150,20 @@ type ruleMatches struct {
 	truncated bool
 }
 
-// matchTask is one unit of match-phase work: one shard of one rule's
-// top-level scan. Shards of a rule partition [0, rows) into contiguous
-// ascending ranges, so concatenating shard buffers in shard order yields
-// exactly the serial match sequence.
+// matchTask is one unit of match-phase work: one shard of one sub-query
+// of one rule. sub < 0 is the full (naive) query sharded over the leading
+// premise's table scan; sub >= 0 is the semi-naive sub-query with table
+// ordinal `sub` delta-restricted, sharded over that table's frontier.
+// Shards partition the scan into contiguous ascending ranges, so
+// concatenating a sub-query's shard buffers in shard order yields its
+// serial match sequence.
 type matchTask struct {
 	ruleIdx int
+	sub     int
 	lo, hi  int
 	buf     [][]Value
+	keys    [][]int32
+	scanned int64
 	err     error
 }
 
@@ -137,43 +171,110 @@ type matchTask struct {
 // workers; below it the coordination overhead dominates.
 const shardMinRows = 64
 
-// planMatchTasks splits each rule's top-level scan into at most
-// `maxShards` contiguous shards. Rules whose first premise does not scan
-// (or scans few rows) get a single whole-range task.
+// shardRange appends tasks covering [0, n) in at most maxShards
+// contiguous pieces (one whole-range task when n is small). worth is the
+// useful-row count the split is judged on — live rows rather than the
+// raw scan length, so a table dominated by tombstones is not over-split.
+func shardRange(tasks []matchTask, ruleIdx, sub, n, worth, maxShards int) []matchTask {
+	shards := 1
+	if maxShards > 1 && worth >= shardMinRows {
+		shards = maxShards
+		if shards > n {
+			shards = n
+		}
+	}
+	if shards <= 1 {
+		return append(tasks, matchTask{ruleIdx: ruleIdx, sub: sub, lo: 0, hi: -1})
+	}
+	for s := 0; s < shards; s++ {
+		lo := n * s / shards
+		hi := n * (s + 1) / shards
+		tasks = append(tasks, matchTask{ruleIdx: ruleIdx, sub: sub, lo: lo, hi: hi})
+	}
+	return tasks
+}
+
+// planMatchTasks splits each rule's full query into at most `maxShards`
+// shards of its top-level scan. Rules whose first premise does not scan
+// (or scans few live rows) get a single whole-range task.
 func (g *EGraph) planMatchTasks(rules []*Rule, maxShards int) []matchTask {
 	tasks := make([]matchTask, 0, len(rules))
 	for ri, r := range rules {
-		n := g.FirstPremiseRows(r)
-		shards := 1
-		if maxShards > 1 && n >= shardMinRows {
-			shards = maxShards
-			if shards > n {
-				shards = n
-			}
+		n, live := g.firstPremiseScan(r)
+		tasks = shardRange(tasks, ri, -1, n, live, maxShards)
+	}
+	return tasks
+}
+
+// planDeltaTasks emits the semi-naive plan: for each rule with k table
+// premises, one sharded sub-query per ordinal whose table has a non-empty
+// frontier. Rules whose premise tables all went untouched last iteration
+// contribute no tasks at all — the saturated fringe of a run costs
+// nothing, which is the point of semi-naive evaluation.
+//
+// The plan is hybrid: when a rule's summed frontiers are so large relative
+// to its leading table scan that the k delta sub-queries would visit more
+// rows than one full pass (each frontier row probes the other k-1
+// premises, so the delta plan costs about Σ|frontier| × k), the rule falls
+// back to its full query for this iteration. The re-found old matches it
+// applies are guaranteed no-ops under the apply phase's frozen
+// canonicalization, so the fallback changes which rows are visited but not
+// a single bit of the result.
+func (g *EGraph) planDeltaTasks(rules []*Rule, maxShards int) []matchTask {
+	var tasks []matchTask
+	for ri, r := range rules {
+		tp := tablePremises(r)
+		outer := 0
+		for _, pi := range tp {
+			outer += len(r.Premises[pi].(*TablePremise).Fn.table.frontier)
 		}
-		if shards == 1 {
-			tasks = append(tasks, matchTask{ruleIdx: ri, lo: 0, hi: -1})
+		if outer == 0 {
 			continue
 		}
-		for s := 0; s < shards; s++ {
-			lo := n * s / shards
-			hi := n * (s + 1) / shards
-			tasks = append(tasks, matchTask{ruleIdx: ri, lo: lo, hi: hi})
+		if n, live := g.firstPremiseScan(r); n > 0 && outer*len(tp) >= n+live {
+			tasks = shardRange(tasks, ri, -1, n, live, maxShards)
+			continue
+		}
+		for s, pi := range tp {
+			fr := len(r.Premises[pi].(*TablePremise).Fn.table.frontier)
+			if fr == 0 {
+				continue
+			}
+			tasks = shardRange(tasks, ri, s, fr, fr, maxShards)
 		}
 	}
 	return tasks
 }
 
+// keyLess is the lexicographic order on equal-length match keys; it is
+// the serial full-match enumeration order.
+func keyLess(a, b []int32) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
 // collectMatches runs the match phase: every task e-matches against the
 // frozen (rebuilt, canonical) graph on a pool of `workers` goroutines,
 // each filling a private buffer. Buffers are then merged in
-// rule-declaration order (and shard order within a rule), truncated to
-// matchLimit per rule, so the result is independent of worker count and
-// scheduling. Matching only reads the graph: pool interning, union-find
-// path halving, and lazy index builds are internally synchronized.
-func (g *EGraph) collectMatches(rules []*Rule, cfg RunConfig) ([]ruleMatches, []time.Duration, error) {
+// rule-declaration order, truncated to matchLimit per rule, so the result
+// is independent of worker count and scheduling. Within a rule, naive
+// shards concatenate in shard order; semi-naive sub-query buffers are
+// sorted by match key, which restores the exact relative order a naive
+// match would enumerate those (new) matches in. Matching only reads the
+// graph: pool interning, union-find path halving, and lazy index builds
+// are internally synchronized.
+func (g *EGraph) collectMatches(rules []*Rule, cfg RunConfig, delta bool, minStamp uint64) ([]ruleMatches, []time.Duration, int64, error) {
 	workers, matchLimit := cfg.Workers, cfg.MatchLimit
-	tasks := g.planMatchTasks(rules, cfg.MatchShards)
+	var tasks []matchTask
+	if delta {
+		tasks = g.planDeltaTasks(rules, cfg.MatchShards)
+	} else {
+		tasks = g.planMatchTasks(rules, cfg.MatchShards)
+	}
 	var taskTimes []time.Duration
 	if cfg.RecordTaskTimes {
 		taskTimes = make([]time.Duration, len(tasks))
@@ -186,8 +287,12 @@ func (g *EGraph) collectMatches(rules []*Rule, cfg RunConfig) ([]ruleMatches, []
 			begin = time.Now()
 		}
 		r := rules[t.ruleIdx]
-		t.err = g.MatchShard(r, t.lo, t.hi, func(binds []Value) bool {
+		spec := matchSpec{deltaOrd: t.sub, minStamp: minStamp}
+		t.scanned, t.err = g.matchShard(r, spec, t.lo, t.hi, func(binds []Value, key []int32) bool {
 			t.buf = append(t.buf, binds)
+			if t.sub >= 0 {
+				t.keys = append(t.keys, append([]int32(nil), key...))
+			}
 			return len(t.buf) < matchLimit
 		})
 		if taskTimes != nil {
@@ -218,31 +323,55 @@ func (g *EGraph) collectMatches(rules []*Rule, cfg RunConfig) ([]ruleMatches, []
 		wg.Wait()
 	}
 
-	// Merge: declaration order across rules, shard order within a rule.
+	// Merge: declaration order across rules; within a rule, shard-order
+	// concatenation (naive) or key sort (semi-naive sub-queries, whose
+	// keys are unique — each new match is generated by exactly one
+	// sub-query, the one whose delta ordinal is its first delta premise).
 	merged := make([]ruleMatches, len(rules))
 	for i, r := range rules {
 		merged[i].rule = r
 	}
+	var scanned int64
+	keys := make([][][]int32, len(rules))
 	for i := range tasks {
 		t := &tasks[i]
 		if t.err != nil {
-			return nil, nil, fmt.Errorf("matching rule %s: %w", rules[t.ruleIdx].Name, t.err)
+			return nil, nil, 0, fmt.Errorf("matching rule %s: %w", rules[t.ruleIdx].Name, t.err)
 		}
+		scanned += t.scanned
 		rm := &merged[t.ruleIdx]
 		if len(rm.matches) == 0 {
 			rm.matches = t.buf
+			keys[t.ruleIdx] = t.keys
 		} else {
 			rm.matches = append(rm.matches, t.buf...)
+			keys[t.ruleIdx] = append(keys[t.ruleIdx], t.keys...)
 		}
 	}
 	for i := range merged {
 		rm := &merged[i]
+		// Key-sort only the rules the delta plan ran as sub-queries; a
+		// rule the hybrid planner fell back to full matching for has no
+		// keys and is already in shard (= serial full-match) order.
+		if delta && keys[i] != nil && len(rm.matches) > 1 {
+			k := keys[i]
+			ord := make([]int, len(rm.matches))
+			for j := range ord {
+				ord[j] = j
+			}
+			sort.Slice(ord, func(a, b int) bool { return keyLess(k[ord[a]], k[ord[b]]) })
+			sorted := make([][]Value, len(rm.matches))
+			for j, o := range ord {
+				sorted[j] = rm.matches[o]
+			}
+			rm.matches = sorted
+		}
 		if len(rm.matches) >= matchLimit {
 			rm.matches = rm.matches[:matchLimit]
 			rm.truncated = true
 		}
 	}
-	return merged, taskTimes, nil
+	return merged, taskTimes, scanned, nil
 }
 
 // Run saturates the e-graph under the given rules: each iteration
@@ -250,6 +379,17 @@ func (g *EGraph) collectMatches(rules []*Rule, cfg RunConfig) ([]ruleMatches, []
 // merges the match buffers deterministically, applies every match's
 // actions serially, then rebuilds congruence. The run stops at a fixed
 // point (no new unions and no new nodes) or when a limit is hit.
+//
+// From the second iteration on (unless cfg.Naive is set) the match phase
+// is semi-naive: it runs delta-restricted sub-queries that enumerate
+// exactly the matches involving at least one row changed by the previous
+// iteration. Matches over unchanged rows were already applied and
+// re-applying them is a no-op (unions of already-equal classes, inserts
+// of existing rows, idempotent merges), so the e-graph evolves
+// identically — only the redundant work is skipped. Every run's first
+// iteration matches the full database: mutations between runs carry no
+// frontier, so the full match re-establishes the baseline the deltas are
+// relative to.
 func (g *EGraph) Run(rules []*Rule, cfg RunConfig) RunReport {
 	cfg = cfg.withDefaults()
 	start := time.Now()
@@ -268,15 +408,23 @@ func (g *EGraph) Run(rules []*Rule, cfg RunConfig) RunReport {
 		if !g.Clean() {
 			g.Rebuild()
 		}
+		// Close the epoch: rows touched since the previous iteration's
+		// match phase become the delta frontier this iteration scans.
+		deltaRows, minStamp := g.advanceFrontier()
+		useDelta := !cfg.Naive && iter > 0
 		unionsBefore := g.unionCount
 		rowsBefore := g.TotalRows()
 		var it IterStats
+		it.DeltaRows = deltaRows
+		it.SemiNaive = useDelta
 
 		// Phase 1: match all rules against the frozen view on the pool.
 		startMatch := time.Now()
-		pending, taskTimes, err := g.collectMatches(rules, cfg)
+		pending, taskTimes, scanned, err := g.collectMatches(rules, cfg, useDelta, minStamp)
 		it.MatchTime = time.Since(startMatch)
 		it.TaskTimes = taskTimes
+		it.RowsScanned = scanned
+		report.RowsScanned += scanned
 		report.MatchTime += it.MatchTime
 		if err != nil {
 			report.Stop = StopRuleError
@@ -291,12 +439,19 @@ func (g *EGraph) Run(rules []*Rule, cfg RunConfig) RunReport {
 		}
 
 		// Phase 2: apply serially, in merged (deterministic) order, so
-		// unions, inserts, and proof recording need no locking.
+		// unions, inserts, and proof recording need no locking. The apply
+		// runs under the frozen iteration-start canonicalization
+		// (beginFrozenApply), so each match's effect depends only on the
+		// snapshot it was collected against — re-applying an old match is
+		// then a guaranteed no-op, which is what lets semi-naive mode skip
+		// old matches without changing a single bit of the result.
 		startApply := time.Now()
 		applied := 0
+		g.beginFrozenApply()
 		for _, rm := range pending {
 			for _, binds := range rm.matches {
 				if err := g.ApplyActions(rm.rule, binds); err != nil {
+					g.endFrozenApply()
 					report.Stop = StopRuleError
 					report.Err = fmt.Errorf("applying rule %s: %w", rm.rule.Name, err)
 					report.PerIter = append(report.PerIter, it)
@@ -306,6 +461,7 @@ func (g *EGraph) Run(rules []*Rule, cfg RunConfig) RunReport {
 				applied++
 			}
 		}
+		g.endFrozenApply()
 		it.ApplyTime = time.Since(startApply)
 		report.ApplyTime += it.ApplyTime
 
