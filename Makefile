@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet bench bench-smoke examples fig3 tables full clean
+.PHONY: all build test test-race vet bench bench-smoke trace-smoke examples fig3 tables full clean
 
 all: build vet test test-race
 
@@ -36,6 +36,17 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'Saturate|EMatch|Rebuild|Extract' -benchtime=1x ./internal/egraph/ ./internal/bench/
 	$(GO) run ./cmd/benchtab -bench2
 
+# Observability smoke: run egg-opt with tracing, metrics, and profiling
+# enabled on a real example, then lint the artifacts (Chrome-trace shape,
+# ts monotonicity, and the cross-field metric invariants).
+trace-smoke:
+	$(GO) run ./cmd/egg-opt -rules imgconv -workers 2 -stats \
+		-stats-json stats.json -trace trace.json \
+		-cpuprofile cpu.pprof -memprofile mem.pprof \
+		examples/div_pow2.mlir > /dev/null
+	$(GO) run ./internal/obs/tracelint -trace trace.json -stats stats.json
+	@echo "trace-smoke: OK (trace.json, stats.json, cpu.pprof, mem.pprof)"
+
 examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/horner
@@ -56,4 +67,4 @@ full:
 	$(GO) run ./cmd/benchtab -full
 
 clean:
-	rm -f test_output.txt bench_output.txt
+	rm -f test_output.txt bench_output.txt trace.json stats.json cpu.pprof mem.pprof

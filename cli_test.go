@@ -1,11 +1,17 @@
 package dialegg_test
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"dialegg/internal/dialegg"
+	"dialegg/internal/obs"
 )
 
 // buildTool compiles one of the cmd/ binaries into a temp dir.
@@ -82,6 +88,97 @@ func TestEggOptCLI(t *testing.T) {
 	// Bad input reports a non-zero exit.
 	if err := exec.Command(bin, "-rules", "nope", mlirPath).Run(); err == nil {
 		t.Error("unknown rule set accepted")
+	}
+}
+
+// TestEggOptObservabilityCLI drives egg-opt's observability surface:
+// --stats to stderr with stdout staying pure MLIR, --stats-json whose
+// per-rule totals equal the --stats table, a validating --trace file with
+// pipeline/engine/worker lanes, and pprof output.
+func TestEggOptObservabilityCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short")
+	}
+	bin := buildTool(t, "egg-opt")
+	dir := t.TempDir()
+	mlirPath := filepath.Join(dir, "prog.mlir")
+	if err := os.WriteFile(mlirPath, []byte(cliProgram), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tracePath := filepath.Join(dir, "trace.json")
+	statsPath := filepath.Join(dir, "stats.json")
+	cpuPath := filepath.Join(dir, "cpu.pprof")
+	memPath := filepath.Join(dir, "mem.pprof")
+
+	cmd := exec.Command(bin, "-rules", "imgconv", "-workers", "2", "-stats",
+		"-stats-json", statsPath, "-trace", tracePath,
+		"-cpuprofile", cpuPath, "-memprofile", memPath, mlirPath)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("egg-opt: %v\nstderr:\n%s", err, stderr.String())
+	}
+
+	// stdout must be pipeable MLIR only; all stats go to stderr.
+	if !strings.Contains(stdout.String(), "arith.shrsi") || strings.Contains(stdout.String(), "iter 1") {
+		t.Errorf("stdout not pure MLIR:\n%s", stdout.String())
+	}
+	errText := stderr.String()
+	if !strings.Contains(errText, "saturation:") || !strings.Contains(errText, "matched") {
+		t.Errorf("stderr missing stats/per-rule table:\n%s", errText)
+	}
+
+	// The trace must validate and carry the three lane families.
+	spans, err := obs.ValidateTraceFile(tracePath)
+	if err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+	if spans == 0 {
+		t.Fatal("trace has no spans")
+	}
+	traceData, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lane := range []string{`"pipeline"`, `"engine"`, `"match worker 0"`} {
+		if !strings.Contains(string(traceData), lane) {
+			t.Errorf("trace missing lane %s", lane)
+		}
+	}
+
+	// The JSON per-rule totals must equal the --stats table's rows.
+	statsData, err := os.ReadFile(statsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep dialegg.Report
+	if err := json.Unmarshal(statsData, &rep); err != nil {
+		t.Fatalf("stats JSON does not parse: %v", err)
+	}
+	if len(rep.Run.Rules) == 0 {
+		t.Fatal("stats JSON has no per-rule metrics")
+	}
+	for _, r := range rep.Run.Rules {
+		prefix := fmt.Sprintf("%-32s %9d %9d %7d %10d", r.Name, r.Matched, r.Applied, r.Noops, r.RowsScanned)
+		if !strings.Contains(errText, prefix) {
+			t.Errorf("--stats table row disagrees with JSON for rule %s:\nwant row prefix %q in:\n%s",
+				r.Name, prefix, errText)
+		}
+	}
+	if rep.Run.Iterations == 0 || len(rep.Run.PerIter) != rep.Run.Iterations {
+		t.Errorf("stats JSON iteration records inconsistent: %d iters, %d records",
+			rep.Run.Iterations, len(rep.Run.PerIter))
+	}
+
+	// pprof files exist and are non-empty.
+	for _, p := range []string{cpuPath, memPath} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("profile missing: %v", err)
+		} else if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
 	}
 }
 

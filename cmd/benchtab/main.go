@@ -10,6 +10,10 @@
 //	benchtab -fig3       # only Figure 3
 //	benchtab -table2 -chains 10,20,40,80
 //	benchtab -bench2     # naive vs semi-naive matching -> BENCH_2.json
+//
+// Observability: --stats prints each benchmark's saturation and per-rule
+// metrics to stderr (tables stay on stdout); --stats-json writes every
+// section's rows, including the DialEgg optimization reports, as JSON.
 package main
 
 import (
@@ -20,6 +24,8 @@ import (
 	"strings"
 
 	"dialegg/internal/bench"
+	"dialegg/internal/egraph"
+	"dialegg/internal/obs"
 )
 
 func main() {
@@ -30,6 +36,8 @@ func main() {
 	bench2Out := flag.String("bench2-out", "BENCH_2.json", "output path for -bench2")
 	full := flag.Bool("full", false, "use the paper's full workload sizes")
 	chains := flag.String("chains", "10,20,40,80", "NMM scalability chain lengths for Table 2")
+	stats := flag.Bool("stats", false, "print per-benchmark saturation and per-rule metrics to stderr")
+	statsJSON := flag.String("stats-json", "", "write all section results (with optimization reports) as JSON to this file")
 	flag.Parse()
 
 	if !*fig3 && !*table1 && !*table2 && !*bench2 {
@@ -40,17 +48,37 @@ func main() {
 		scale = bench.ScaleFull
 	}
 	benchs := bench.DefaultBenchmarks(scale)
+	if *stats || *statsJSON != "" {
+		// Per-rule accounting rides on the saturation runs the sections
+		// perform anyway; it is off by default to keep timings untainted.
+		for _, b := range benchs {
+			b.RunConfig.RuleMetrics = true
+		}
+	}
+
+	// out aggregates every section's rows for --stats-json.
+	var out struct {
+		Table1 []bench.Table1Row `json:"table1,omitempty"`
+		Fig3   []bench.Fig3Row   `json:"fig3,omitempty"`
+		Bench2 []bench.Bench2Row `json:"bench2,omitempty"`
+		Table2 []bench.Table2Row `json:"table2,omitempty"`
+	}
 
 	if *table1 {
 		rows, err := bench.RunTable1(benchs)
 		fatalIf(err)
 		fmt.Println(bench.FormatTable1(rows))
+		out.Table1 = rows
 	}
 	if *fig3 {
 		fmt.Println("running Figure 3 benchmarks (baseline, canonicalization, DialEgg, DialEgg+canon, greedy pass)...")
 		rows, err := bench.RunFig3(benchs)
 		fatalIf(err)
 		fmt.Println(bench.FormatFig3(rows))
+		out.Fig3 = rows
+		if *stats {
+			printFig3Stats(rows)
+		}
 	}
 	if *bench2 {
 		fmt.Println("comparing naive vs semi-naive matching over the benchmark workloads...")
@@ -59,6 +87,7 @@ func main() {
 		fmt.Println(bench.FormatBench2(rows))
 		fatalIf(bench.WriteBench2JSON(*bench2Out, rows))
 		fmt.Println("wrote", *bench2Out)
+		out.Bench2 = rows
 	}
 	if *table2 {
 		var sizes []int
@@ -75,6 +104,30 @@ func main() {
 		rows, err := bench.RunTable2(benchs, sizes)
 		fatalIf(err)
 		fmt.Println(bench.FormatTable2(rows))
+		out.Table2 = rows
+	}
+
+	if *statsJSON != "" {
+		fatalIf(obs.WriteJSONFile(*statsJSON, out))
+		fmt.Println("wrote", *statsJSON)
+	}
+}
+
+// printFig3Stats prints each benchmark's DialEgg saturation summary and
+// per-rule metrics table to stderr.
+func printFig3Stats(rows []bench.Fig3Row) {
+	for _, row := range rows {
+		for _, r := range row.Results {
+			if r.Report == nil {
+				continue
+			}
+			rep := r.Report
+			fmt.Fprintf(os.Stderr, "%s: %d iterations, %d nodes, stop: %s, rows scanned: %d, saturation %v\n",
+				row.Benchmark, rep.Run.Iterations, rep.Run.Nodes, rep.Run.Stop, rep.Run.RowsScanned, rep.Saturation)
+			if len(rep.Run.Rules) > 0 {
+				fmt.Fprint(os.Stderr, egraph.FormatRuleStats(rep.Run.Rules))
+			}
+		}
 	}
 }
 

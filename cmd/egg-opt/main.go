@@ -10,6 +10,13 @@
 //
 // With no input path the module is read from stdin. The bundled rule sets
 // can be selected by name with -rules (imgconv, vecnorm, poly, matmul).
+//
+// Observability: --stats prints run statistics (including a per-rule
+// metrics table) to stderr, keeping stdout pipeable MLIR; --stats-json
+// writes the same data as machine-readable JSON; --trace writes a Chrome
+// trace-event file loadable in Perfetto or chrome://tracing with pipeline,
+// engine, and match-worker lanes; -cpuprofile/-memprofile write pprof
+// profiles.
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"dialegg/internal/dialegg"
 	"dialegg/internal/egraph"
 	"dialegg/internal/mlir"
+	"dialegg/internal/obs"
 	"dialegg/internal/passes"
 	"dialegg/internal/rules"
 )
@@ -36,32 +44,75 @@ func (s *stringList) Set(v string) error {
 	return nil
 }
 
+// options collects the CLI flags run() consumes.
+type options struct {
+	eggFiles  []string
+	ruleSet   string
+	emitEgg   bool
+	canon     bool
+	greedy    bool
+	noDialEgg bool
+	iterLimit int
+	nodeLimit int
+	workers   int
+	timeLimit time.Duration
+	naive     bool
+	stats     bool
+	statsJSON string
+	traceFile string
+	explain   bool
+}
+
 func main() {
+	var opts options
 	var eggFiles stringList
 	flag.Var(&eggFiles, "egg", "egglog rule file (repeatable)")
-	ruleSet := flag.String("rules", "", "bundled rule set: imgconv, vecnorm, poly, or matmul")
-	emitEgg := flag.Bool("emit-egg", false, "print the generated egglog program instead of MLIR")
-	canon := flag.Bool("canonicalize", false, "run canonicalization after DialEgg")
-	greedy := flag.Bool("greedy-matmul", false, "run the hand-written greedy matmul pass instead of DialEgg")
-	noDialEgg := flag.Bool("no-dialegg", false, "skip equality saturation (useful with -canonicalize)")
-	iterLimit := flag.Int("iter-limit", 0, "saturation iteration limit (0 = default)")
-	nodeLimit := flag.Int("node-limit", 0, "e-graph node limit (0 = default)")
-	timeLimit := flag.Duration("time-limit", 0, "saturation time limit (0 = default)")
-	workers := flag.Int("workers", 0, "match-phase worker pool size (0 = GOMAXPROCS, 1 = serial)")
-	naive := flag.Bool("naive", false, "disable semi-naive (delta-frontier) matching; re-match the full database every iteration")
-	stats := flag.Bool("stats", false, "print optimization statistics to stderr")
-	explain := flag.Bool("explain", false, "print a proof for every rewritten operation to stderr")
+	flag.StringVar(&opts.ruleSet, "rules", "", "bundled rule set: imgconv, vecnorm, poly, or matmul")
+	flag.BoolVar(&opts.emitEgg, "emit-egg", false, "print the generated egglog program instead of MLIR")
+	flag.BoolVar(&opts.canon, "canonicalize", false, "run canonicalization after DialEgg")
+	flag.BoolVar(&opts.greedy, "greedy-matmul", false, "run the hand-written greedy matmul pass instead of DialEgg")
+	flag.BoolVar(&opts.noDialEgg, "no-dialegg", false, "skip equality saturation (useful with -canonicalize)")
+	flag.IntVar(&opts.iterLimit, "iter-limit", 0, "saturation iteration limit (0 = default)")
+	flag.IntVar(&opts.nodeLimit, "node-limit", 0, "e-graph node limit (0 = default)")
+	flag.DurationVar(&opts.timeLimit, "time-limit", 0, "saturation time limit (0 = default)")
+	flag.IntVar(&opts.workers, "workers", 0, "match-phase worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	flag.BoolVar(&opts.naive, "naive", false, "disable semi-naive (delta-frontier) matching; re-match the full database every iteration")
+	flag.BoolVar(&opts.stats, "stats", false, "print optimization statistics (with a per-rule metrics table) to stderr")
+	flag.StringVar(&opts.statsJSON, "stats-json", "", "write optimization statistics as JSON to this file")
+	flag.StringVar(&opts.traceFile, "trace", "", "write a Chrome trace-event file (Perfetto-loadable) to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
+	flag.BoolVar(&opts.explain, "explain", false, "print a proof for every rewritten operation to stderr")
 	flag.Parse()
+	opts.eggFiles = eggFiles
 
-	if err := run(eggFiles, *ruleSet, *emitEgg, *canon, *greedy, *noDialEgg, *iterLimit, *nodeLimit, *workers, *timeLimit, *naive, *stats, *explain); err != nil {
-		fmt.Fprintln(os.Stderr, "egg-opt:", err)
+	var stopCPU func() error
+	if *cpuProfile != "" {
+		stop, err := obs.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "egg-opt:", err)
+			os.Exit(1)
+		}
+		stopCPU = stop
+	}
+	runErr := run(opts)
+	if stopCPU != nil {
+		if err := stopCPU(); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+	if *memProfile != "" {
+		if err := obs.WriteHeapProfile(*memProfile); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "egg-opt:", runErr)
 		os.Exit(1)
 	}
 }
 
-func run(eggFiles []string, ruleSet string, emitEgg, canon, greedy, noDialEgg bool,
-	iterLimit, nodeLimit, workers int, timeLimit time.Duration, naive, stats, explain bool) error {
-
+func run(opts options) error {
 	var src []byte
 	var err error
 	switch flag.NArg() {
@@ -77,7 +128,7 @@ func run(eggFiles []string, ruleSet string, emitEgg, canon, greedy, noDialEgg bo
 	}
 
 	var ruleSrcs []string
-	switch ruleSet {
+	switch opts.ruleSet {
 	case "":
 	case "imgconv":
 		ruleSrcs = rules.ImgConv()
@@ -88,9 +139,9 @@ func run(eggFiles []string, ruleSet string, emitEgg, canon, greedy, noDialEgg bo
 	case "matmul":
 		ruleSrcs = rules.MatmulChain()
 	default:
-		return fmt.Errorf("unknown -rules set %q", ruleSet)
+		return fmt.Errorf("unknown -rules set %q", opts.ruleSet)
 	}
-	for _, f := range eggFiles {
+	for _, f := range opts.eggFiles {
 		b, err := os.ReadFile(f)
 		if err != nil {
 			return err
@@ -107,60 +158,64 @@ func run(eggFiles []string, ruleSet string, emitEgg, canon, greedy, noDialEgg bo
 		return fmt.Errorf("input verification: %w", err)
 	}
 
-	if greedy {
+	var rec *obs.Recorder
+	if opts.traceFile != "" {
+		rec = obs.NewRecorder()
+	}
+
+	if opts.greedy {
 		pm := passes.NewPassManager(reg).Add(passes.NewMatmulReassociate())
 		if _, err := pm.Run(m); err != nil {
 			return err
 		}
-	} else if !noDialEgg {
+	} else if !opts.noDialEgg {
 		opt := dialegg.NewOptimizer(dialegg.Options{
 			RuleSources: ruleSrcs,
 			RunConfig: egraph.RunConfig{
-				IterLimit: iterLimit,
-				NodeLimit: nodeLimit,
-				TimeLimit: timeLimit,
-				Workers:   workers,
-				Naive:     naive,
+				IterLimit:   opts.iterLimit,
+				NodeLimit:   opts.nodeLimit,
+				TimeLimit:   opts.timeLimit,
+				Workers:     opts.workers,
+				Naive:       opts.naive,
+				RuleMetrics: opts.stats || opts.statsJSON != "",
+				Recorder:    rec,
 			},
-			KeepEggProgram:  emitEgg,
-			ExplainRewrites: explain,
+			KeepEggProgram:  opts.emitEgg,
+			ExplainRewrites: opts.explain,
 		})
 		rep, err := opt.OptimizeModule(m)
 		if err != nil {
 			return err
 		}
-		if emitEgg {
+		if opts.emitEgg {
 			fmt.Print(rep.EggProgram)
 			return nil
 		}
-		if explain {
+		if opts.explain {
 			for _, proof := range rep.RewriteExplanations {
 				fmt.Fprintln(os.Stderr, proof)
 			}
 		}
-		if stats {
-			fmt.Fprintf(os.Stderr, "rules: %d, translated ops: %d, opaque ops: %d\n",
-				rep.NumRules, rep.NumTranslatedOps, rep.NumOpaqueOps)
-			fmt.Fprintf(os.Stderr, "saturation: %d iterations, %d nodes, stop: %s, workers: %d, rows scanned: %d\n",
-				rep.Run.Iterations, rep.Run.Nodes, rep.Run.Stop, rep.Run.Workers, rep.Run.RowsScanned)
-			fmt.Fprintf(os.Stderr, "times: mlir->egg %v, egglog %v (saturation %v = match %v + apply %v + rebuild %v), egg->mlir %v\n",
-				rep.MLIRToEgg, rep.EggTotal, rep.Saturation, rep.SatMatch, rep.SatApply, rep.SatRebuild, rep.EggToMLIR)
-			for i, it := range rep.Run.PerIter {
-				mode := "full"
-				if it.SemiNaive {
-					mode = "delta"
-				}
-				fmt.Fprintf(os.Stderr, "  iter %d (%s): %d matches, %d unions, %d nodes, %d delta rows, %d scanned, match %v, apply %v, rebuild %v (%d passes)\n",
-					i+1, mode, it.Matches, it.Unions, it.Nodes, it.DeltaRows, it.RowsScanned, it.MatchTime, it.ApplyTime, it.RebuildTime, it.RebuildPasses)
+		if opts.stats {
+			printStats(os.Stderr, rep)
+		}
+		if opts.statsJSON != "" {
+			if err := obs.WriteJSONFile(opts.statsJSON, rep); err != nil {
+				return fmt.Errorf("writing stats JSON: %w", err)
 			}
-			fmt.Fprintf(os.Stderr, "extracted cost: %d\n", rep.ExtractCost)
 		}
 	}
 
-	if canon {
+	if opts.canon {
 		pm := passes.NewPassManager(reg).Add(passes.NewCanonicalize())
 		if _, err := pm.Run(m); err != nil {
 			return err
+		}
+	}
+
+	if rec != nil {
+		if err := rec.WriteTraceFile(opts.traceFile); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
 		}
 	}
 
@@ -169,4 +224,28 @@ func run(eggFiles []string, ruleSet string, emitEgg, canon, greedy, noDialEgg bo
 	}
 	fmt.Print(mlir.PrintModule(m, reg))
 	return nil
+}
+
+// printStats renders the --stats report: pipeline totals, per-iteration
+// lines, and the per-rule metrics table, all on w (stderr) so stdout stays
+// pipeable MLIR.
+func printStats(w io.Writer, rep *dialegg.Report) {
+	fmt.Fprintf(w, "rules: %d, translated ops: %d, opaque ops: %d\n",
+		rep.NumRules, rep.NumTranslatedOps, rep.NumOpaqueOps)
+	fmt.Fprintf(w, "saturation: %d iterations, %d nodes, stop: %s, workers: %d, rows scanned: %d\n",
+		rep.Run.Iterations, rep.Run.Nodes, rep.Run.Stop, rep.Run.Workers, rep.Run.RowsScanned)
+	fmt.Fprintf(w, "times: mlir->egg %v, egglog %v (saturation %v = match %v + apply %v + rebuild %v), egg->mlir %v\n",
+		rep.MLIRToEgg, rep.EggTotal, rep.Saturation, rep.SatMatch, rep.SatApply, rep.SatRebuild, rep.EggToMLIR)
+	for i, it := range rep.Run.PerIter {
+		mode := "full"
+		if it.SemiNaive {
+			mode = "delta"
+		}
+		fmt.Fprintf(w, "  iter %d (%s): %d matches, %d unions, %d nodes, %d delta rows, %d scanned, match %v, apply %v, rebuild %v (%d passes)\n",
+			i+1, mode, it.Matches, it.Unions, it.Nodes, it.DeltaRows, it.RowsScanned, it.MatchTime, it.ApplyTime, it.RebuildTime, it.RebuildPasses)
+	}
+	if len(rep.Run.Rules) > 0 {
+		fmt.Fprint(w, egraph.FormatRuleStats(rep.Run.Rules))
+	}
+	fmt.Fprintf(w, "extracted cost: %d\n", rep.ExtractCost)
 }

@@ -10,6 +10,11 @@
 //
 // The interpreter supports the subset used by the DialEgg paper plus
 // rulesets and run-schedule; see internal/egglog.
+//
+// Observability: --stats prints run statistics (with a per-rule table) to
+// stderr so stdout stays pipeable results; --stats-json writes the last
+// run's report as JSON; --trace writes a Chrome trace-event file
+// (Perfetto-loadable); -cpuprofile/-memprofile write pprof profiles.
 package main
 
 import (
@@ -19,24 +24,62 @@ import (
 	"os"
 
 	"dialegg/internal/egglog"
+	"dialegg/internal/egraph"
+	"dialegg/internal/obs"
 	"dialegg/internal/sexp"
 )
 
+// options collects the CLI flags run() consumes.
+type options struct {
+	dotPath   string
+	stats     bool
+	statsJSON string
+	traceFile string
+	proofs    bool
+	workers   int
+	naive     bool
+}
+
 func main() {
-	dotPath := flag.String("dot", "", "write the final e-graph as Graphviz DOT to this file")
-	stats := flag.Bool("stats", false, "print e-graph and saturation statistics after execution")
-	proofs := flag.Bool("proofs", false, "record union provenance so (explain a b) works")
-	workers := flag.Int("workers", 0, "match-phase worker pool size for (run ...) (0 = GOMAXPROCS, 1 = serial)")
-	naive := flag.Bool("naive", false, "disable semi-naive (delta-frontier) matching for (run ...)")
+	var opts options
+	flag.StringVar(&opts.dotPath, "dot", "", "write the final e-graph as Graphviz DOT to this file")
+	flag.BoolVar(&opts.stats, "stats", false, "print e-graph and saturation statistics (with a per-rule table) to stderr")
+	flag.StringVar(&opts.statsJSON, "stats-json", "", "write the last run's report as JSON to this file")
+	flag.StringVar(&opts.traceFile, "trace", "", "write a Chrome trace-event file (Perfetto-loadable) to this file")
+	flag.BoolVar(&opts.proofs, "proofs", false, "record union provenance so (explain a b) works")
+	flag.IntVar(&opts.workers, "workers", 0, "match-phase worker pool size for (run ...) (0 = GOMAXPROCS, 1 = serial)")
+	flag.BoolVar(&opts.naive, "naive", false, "disable semi-naive (delta-frontier) matching for (run ...)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 
-	if err := run(*dotPath, *stats, *proofs, *workers, *naive); err != nil {
-		fmt.Fprintln(os.Stderr, "egglog:", err)
+	var stopCPU func() error
+	if *cpuProfile != "" {
+		stop, err := obs.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "egglog:", err)
+			os.Exit(1)
+		}
+		stopCPU = stop
+	}
+	runErr := run(opts)
+	if stopCPU != nil {
+		if err := stopCPU(); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+	if *memProfile != "" {
+		if err := obs.WriteHeapProfile(*memProfile); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "egglog:", runErr)
 		os.Exit(1)
 	}
 }
 
-func run(dotPath string, stats, proofs bool, workers int, naive bool) error {
+func run(opts options) error {
 	var src []byte
 	var err error
 	switch flag.NArg() {
@@ -56,11 +99,15 @@ func run(dotPath string, stats, proofs bool, workers int, naive bool) error {
 		return err
 	}
 	p := egglog.NewProgram()
-	if proofs {
+	if opts.proofs {
 		p.Graph().EnableExplanations()
 	}
-	p.RunDefaults.Workers = workers
-	p.RunDefaults.Naive = naive
+	p.RunDefaults.Workers = opts.workers
+	p.RunDefaults.Naive = opts.naive
+	p.RunDefaults.RuleMetrics = opts.stats || opts.statsJSON != ""
+	if opts.traceFile != "" {
+		p.RunDefaults.Recorder = obs.NewRecorder()
+	}
 	// Execute command by command so results interleave with their
 	// commands, like the reference egglog REPL.
 	for _, n := range nodes {
@@ -95,7 +142,7 @@ func run(dotPath string, stats, proofs bool, workers int, naive bool) error {
 		}
 	}
 
-	if stats {
+	if opts.stats {
 		g := p.Graph()
 		fmt.Fprintf(os.Stderr, "e-graph: %d nodes, %d classes, %d rules\n",
 			g.NumNodes(), g.NumClasses(), p.NumRules())
@@ -110,10 +157,23 @@ func run(dotPath string, stats, proofs bool, workers int, naive bool) error {
 				fmt.Fprintf(os.Stderr, "  iter %d (%s): %d matches, %d unions, %d nodes, %d delta rows, %d scanned, match %v, apply %v, rebuild %v (%d passes)\n",
 					i+1, mode, it.Matches, it.Unions, it.Nodes, it.DeltaRows, it.RowsScanned, it.MatchTime, it.ApplyTime, it.RebuildTime, it.RebuildPasses)
 			}
+			if len(last.Rules) > 0 {
+				fmt.Fprint(os.Stderr, egraph.FormatRuleStats(last.Rules))
+			}
 		}
 	}
-	if dotPath != "" {
-		f, err := os.Create(dotPath)
+	if opts.statsJSON != "" {
+		if err := obs.WriteJSONFile(opts.statsJSON, p.LastRun); err != nil {
+			return fmt.Errorf("writing stats JSON: %w", err)
+		}
+	}
+	if rec := p.RunDefaults.Recorder; rec.Enabled() {
+		if err := rec.WriteTraceFile(opts.traceFile); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+	}
+	if opts.dotPath != "" {
+		f, err := os.Create(opts.dotPath)
 		if err != nil {
 			return err
 		}

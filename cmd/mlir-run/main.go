@@ -23,6 +23,7 @@ import (
 	"dialegg/internal/dialects"
 	"dialegg/internal/interp"
 	"dialegg/internal/mlir"
+	"dialegg/internal/obs"
 )
 
 func main() {
@@ -32,15 +33,17 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed for generated tensor inputs")
 	counts := flag.Bool("counts", false, "print per-op execution counts")
 	profile := flag.Bool("profile", false, "print the per-op cycle profile (sorted by cost share)")
+	stats := flag.Bool("stats", false, "print execution statistics (cycles, per-op profile) to stderr")
+	statsJSON := flag.String("stats-json", "", "write execution statistics as JSON to this file")
 	flag.Parse()
 
-	if err := run(*fn, *intArgs, *floatArgs, *seed, *counts, *profile); err != nil {
+	if err := run(*fn, *intArgs, *floatArgs, *seed, *counts, *profile, *stats, *statsJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "mlir-run:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fn, intArgs, floatArgs string, seed int64, printCounts, printProfile bool) error {
+func run(fn, intArgs, floatArgs string, seed int64, printCounts, printProfile, printStats bool, statsJSON string) error {
 	var src []byte
 	var err error
 	if flag.NArg() == 1 {
@@ -145,7 +148,33 @@ func run(fn, intArgs, floatArgs string, seed int64, printCounts, printProfile bo
 			fmt.Printf("  %-24s %12d\n", n, in.Stats.OpCounts[n])
 		}
 	}
+	// --stats goes to stderr (and --stats-json to a file) so stdout stays
+	// the pipeable result/cycles output, matching egg-opt and egglog.
+	if printStats {
+		fmt.Fprintf(os.Stderr, "function: @%s, cycles: %d, ops executed: %d\n",
+			fn, in.Stats.Cycles, totalOps(in.Stats.OpCounts))
+		fmt.Fprint(os.Stderr, in.Stats.Profile())
+	}
+	if statsJSON != "" {
+		out := struct {
+			Function string           `json:"function"`
+			Cycles   int64            `json:"cycles"`
+			OpCounts map[string]int64 `json:"op_counts"`
+			OpCycles map[string]int64 `json:"op_cycles"`
+		}{fn, in.Stats.Cycles, in.Stats.OpCounts, in.Stats.OpCycles}
+		if err := obs.WriteJSONFile(statsJSON, out); err != nil {
+			return fmt.Errorf("writing stats JSON: %w", err)
+		}
+	}
 	return nil
+}
+
+func totalOps(counts map[string]int64) int64 {
+	var n int64
+	for _, c := range counts {
+		n += c
+	}
+	return n
 }
 
 func splitNums(s string) []string {

@@ -1,0 +1,5 @@
+func.func @scale(%x: i64) -> i64 {
+  %c256 = arith.constant 256 : i64
+  %r = arith.divsi %x, %c256 : i64
+  func.return %r : i64
+}

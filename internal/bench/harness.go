@@ -130,22 +130,26 @@ const (
 
 // VariantResult is one bar of Figure 3.
 type VariantResult struct {
-	Variant string
+	Variant string `json:"variant"`
 	// Cycles under the interpreter's latency model (primary metric; see
 	// DESIGN.md §3).
-	Cycles int64
+	Cycles int64 `json:"cycles"`
 	// Wall is the interpretation wall time (secondary metric).
-	Wall time.Duration
+	Wall time.Duration `json:"wall_ns"`
 	// Checksum folds the output for verification.
-	Checksum float64
+	Checksum float64 `json:"checksum"`
 	// Speedup is baseline cycles / this variant's cycles.
-	Speedup float64
+	Speedup float64 `json:"speedup"`
+	// Report is the optimization report for the DialEgg variant (nil for
+	// the others); it carries per-rule metrics when the benchmark's
+	// RunConfig enables RuleMetrics (benchtab --stats/--stats-json).
+	Report *dialegg.Report `json:"report,omitempty"`
 }
 
 // Fig3Row is one benchmark's group of bars.
 type Fig3Row struct {
-	Benchmark string
-	Results   []VariantResult
+	Benchmark string          `json:"benchmark"`
+	Results   []VariantResult `json:"results"`
 }
 
 // prepareVariant returns the transformed module for a variant name.
@@ -223,7 +227,7 @@ func RunFig3(benchs []*Benchmark) ([]Fig3Row, error) {
 		var baseCycles int64
 		var baseChecksum float64
 		for _, variant := range variants {
-			m, _, err := prepareVariant(b, variant)
+			m, rep, err := prepareVariant(b, variant)
 			if err != nil {
 				return out, err
 			}
@@ -232,6 +236,9 @@ func RunFig3(benchs []*Benchmark) ([]Fig3Row, error) {
 				return out, fmt.Errorf("bench %s/%s: %w", b.Name, variant, err)
 			}
 			r := VariantResult{Variant: variant, Cycles: cycles, Wall: wall, Checksum: checksum}
+			if variant == VariantDialEgg {
+				r.Report = rep
+			}
 			if variant == VariantBaseline {
 				baseCycles = cycles
 				baseChecksum = checksum

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dialegg/internal/dialects"
+	"dialegg/internal/dialegg"
+	"dialegg/internal/egraph"
+	"dialegg/internal/mlir"
+	"dialegg/internal/obs"
+	"dialegg/internal/rules"
+)
+
+// BenchmarkObservabilityOverhead runs the chain-saturation workload with
+// the observability layer off, with per-rule metrics on, and with
+// metrics plus a live trace recorder — the three CLI configurations
+// (plain, --stats/--stats-json, and --trace). The off/on ratio is the
+// cost of instrumentation on the hot path; the acceptance budget for
+// the disabled configuration is < 2% versus the seed (the nil-recorder
+// path is a single pointer check, so "off" and "seed" should be
+// indistinguishable within noise).
+func BenchmarkObservabilityOverhead(b *testing.B) {
+	modes := []struct {
+		name    string
+		metrics bool
+		trace   bool
+	}{
+		{"off", false, false},
+		{"metrics", true, false},
+		{"metrics+trace", true, true},
+	}
+	for _, n := range []int{8, 16} {
+		dims := NMMDims(n)
+		src := MatmulChainSource(fmt.Sprintf("mm%d", n), dims)
+		for _, mode := range modes {
+			b.Run(fmt.Sprintf("chain%d/%s", n, mode.name), func(b *testing.B) {
+				var satTime time.Duration
+				for i := 0; i < b.N; i++ {
+					reg := dialects.NewRegistry()
+					m, err := mlir.ParseModule(src, reg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cfg := egraph.RunConfig{
+						NodeLimit:   2_000_000,
+						MatchLimit:  2_000_000,
+						TimeLimit:   240 * time.Second,
+						IterLimit:   120,
+						Workers:     1,
+						RuleMetrics: mode.metrics,
+					}
+					if mode.trace {
+						cfg.Recorder = obs.NewRecorder()
+					}
+					opt := dialegg.NewOptimizer(dialegg.Options{
+						RuleSources: rules.MatmulChain(),
+						RunConfig:   cfg,
+					})
+					rep, err := opt.OptimizeModule(m)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !rep.Run.Saturated() {
+						b.Fatalf("chain %d did not saturate: %s", n, rep.Run.Stop)
+					}
+					satTime += rep.Saturation
+				}
+				b.ReportMetric(float64(satTime.Nanoseconds())/float64(b.N), "saturate-ns/op")
+			})
+		}
+	}
+}

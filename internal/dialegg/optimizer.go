@@ -8,6 +8,7 @@ import (
 	"dialegg/internal/egglog"
 	"dialegg/internal/egraph"
 	"dialegg/internal/mlir"
+	"dialegg/internal/obs"
 	"dialegg/internal/sexp"
 )
 
@@ -42,46 +43,52 @@ type Options struct {
 
 // Report records one optimization run, matching the paper's Table 2
 // columns: translation time to Egglog, total time inside Egglog, the
-// saturation portion, and translation time back to MLIR.
+// saturation portion, and translation time back to MLIR. Duration fields
+// marshal as nanoseconds in the stats-JSON output (`_ns` suffix).
 type Report struct {
-	MLIRToEgg  time.Duration
-	EggTotal   time.Duration
-	Saturation time.Duration
-	EggToMLIR  time.Duration
+	MLIRToEgg  time.Duration `json:"mlir_to_egg_ns"`
+	EggTotal   time.Duration `json:"egg_total_ns"`
+	Saturation time.Duration `json:"saturation_ns"`
+	EggToMLIR  time.Duration `json:"egg_to_mlir_ns"`
 
 	// SatMatch, SatApply, and SatRebuild split Saturation into the
 	// engine's three phases (match is the parallel one; see
 	// Options.Workers).
-	SatMatch   time.Duration
-	SatApply   time.Duration
-	SatRebuild time.Duration
+	SatMatch   time.Duration `json:"sat_match_ns"`
+	SatApply   time.Duration `json:"sat_apply_ns"`
+	SatRebuild time.Duration `json:"sat_rebuild_ns"`
 
 	// Run is the saturation engine report (iterations, nodes, stop
-	// reason).
-	Run egraph.RunReport
+	// reason, per-iteration and per-rule stats). For a module it is the
+	// aggregate across functions: counters and per-rule metrics summed,
+	// final-state fields from the last function.
+	Run egraph.RunReport `json:"run"`
 	// NumRules counts user rewrite rules (excluding the prelude's and the
 	// generated type-of analyses).
-	NumRules int
+	NumRules int `json:"num_rules"`
 	// NumTranslatedOps and NumOpaqueOps count how MLIR ops were encoded.
-	NumTranslatedOps int
-	NumOpaqueOps     int
+	NumTranslatedOps int `json:"num_translated_ops"`
+	NumOpaqueOps     int `json:"num_opaque_ops"`
 	// ExtractDAGCost is ExtractCost with shared subterms counted once —
 	// the cost of the SSA program actually emitted (see TermDAGCost).
-	ExtractDAGCost int64
+	ExtractDAGCost int64 `json:"extract_dag_cost"`
 	// ExtractCost is the cost of the extracted program under the e-graph
 	// cost model.
-	ExtractCost int64
+	ExtractCost int64 `json:"extract_cost"`
 	// EggProgram is the generated program text when KeepEggProgram is set.
-	EggProgram string
+	EggProgram string `json:"-"`
 	// RewriteExplanations holds one rendered proof per rewritten operation
 	// when Options.ExplainRewrites is set.
-	RewriteExplanations []string
+	RewriteExplanations []string `json:"-"`
 }
 
 // Total returns the end-to-end optimization time.
 func (r *Report) Total() time.Duration { return r.MLIRToEgg + r.EggTotal + r.EggToMLIR }
 
 // merge accumulates another function's report (module-level totals).
+// Engine run reports are folded with egraph.RunReport.Merge, so the
+// module totals keep every function's iterations, per-iteration stats,
+// and per-rule metrics rather than just the largest run's.
 func (r *Report) merge(o *Report) {
 	r.MLIRToEgg += o.MLIRToEgg
 	r.EggTotal += o.EggTotal
@@ -97,9 +104,7 @@ func (r *Report) merge(o *Report) {
 	if r.NumRules == 0 {
 		r.NumRules = o.NumRules
 	}
-	if o.Run.Iterations > r.Run.Iterations {
-		r.Run = o.Run
-	}
+	r.Run.Merge(o.Run)
 	if o.EggProgram != "" {
 		if r.EggProgram != "" {
 			r.EggProgram += "\n"
@@ -129,11 +134,19 @@ const preludeRuleCount = 2
 // the optimized replacement.
 func (o *Optimizer) OptimizeFunc(f *mlir.Operation) (*mlir.Operation, *Report, error) {
 	report := &Report{}
+	rec := o.opts.RunConfig.Recorder
+	if rec.Enabled() {
+		rec.SetLaneName(obs.LanePipeline, "pipeline")
+	}
 
 	// Phase 0 (counted into EggTotal, like loading the .egg file into
 	// egglog): prelude + user declarations/rules + preparation scan.
 	startEgg := time.Now()
 	p := egglog.NewProgram()
+	// Thread observability into the program so run/extract commands inside
+	// rule sources trace and report like the pipeline's own saturation.
+	p.RunDefaults.Recorder = rec
+	p.RunDefaults.RuleMetrics = o.opts.RunConfig.RuleMetrics
 	if o.opts.ExplainRewrites {
 		p.Graph().EnableExplanations()
 	}
@@ -151,6 +164,9 @@ func (o *Optimizer) OptimizeFunc(f *mlir.Operation) (*mlir.Operation, *Report, e
 		return nil, nil, err
 	}
 	report.EggTotal += time.Since(startEgg)
+	if rec.Enabled() {
+		rec.Complete(obs.LanePipeline, "phase", "load-rules", startEgg, time.Since(startEgg), nil)
+	}
 
 	// Phase 1: MLIR -> Egglog.
 	startToEgg := time.Now()
@@ -159,6 +175,12 @@ func (o *Optimizer) OptimizeFunc(f *mlir.Operation) (*mlir.Operation, *Report, e
 		return nil, nil, err
 	}
 	report.MLIRToEgg = time.Since(startToEgg)
+	if rec.Enabled() {
+		rec.Complete(obs.LanePipeline, "phase", "mlir-to-egg", startToEgg, report.MLIRToEgg, map[string]int64{
+			"translated_ops": int64(tr.NumTranslated),
+			"opaque_ops":     int64(tr.NumOpaque),
+		})
+	}
 	report.NumTranslatedOps = tr.NumTranslated
 	report.NumOpaqueOps = tr.NumOpaque
 	if o.opts.KeepEggProgram {
@@ -192,6 +214,13 @@ func (o *Optimizer) OptimizeFunc(f *mlir.Operation) (*mlir.Operation, *Report, e
 	report.SatMatch = run.MatchTime
 	report.SatApply = run.ApplyTime
 	report.SatRebuild = run.RebuildTime
+	if rec.Enabled() {
+		rec.Complete(obs.LanePipeline, "phase", "saturate", startSat, report.Saturation, map[string]int64{
+			"iterations": int64(run.Iterations),
+			"nodes":      int64(run.Nodes),
+		})
+	}
+	startExtract := time.Now()
 	rootExpr := sexp.Symbol(tr.RootName)
 	term, cost, err := p.ExtractExpr(rootExpr)
 	if err != nil {
@@ -199,6 +228,12 @@ func (o *Optimizer) OptimizeFunc(f *mlir.Operation) (*mlir.Operation, *Report, e
 	}
 	report.ExtractCost = cost
 	report.ExtractDAGCost = TermDAGCost(term, costOfProgram(p))
+	if rec.Enabled() {
+		rec.Complete(obs.LanePipeline, "phase", "extract", startExtract, time.Since(startExtract), map[string]int64{
+			"cost":     cost,
+			"dag_cost": report.ExtractDAGCost,
+		})
+	}
 	report.EggTotal += time.Since(startEgg)
 
 	if o.opts.ExplainRewrites {
@@ -213,6 +248,9 @@ func (o *Optimizer) OptimizeFunc(f *mlir.Operation) (*mlir.Operation, *Report, e
 		return nil, nil, fmt.Errorf("dialegg: back-translation: %w", err)
 	}
 	report.EggToMLIR = time.Since(startBack)
+	if rec.Enabled() {
+		rec.Complete(obs.LanePipeline, "phase", "egg-to-mlir", startBack, report.EggToMLIR, nil)
+	}
 	return nf, report, nil
 }
 

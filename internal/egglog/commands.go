@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dialegg/internal/egraph"
+	"dialegg/internal/obs"
 	"dialegg/internal/sexp"
 )
 
@@ -61,7 +62,17 @@ func (p *Program) executeOne(n *sexp.Node) (*Result, error) {
 		return nil, fmt.Errorf("egglog: invalid command %s", n)
 	}
 	args := n.Args()
-	switch head := n.Head(); head {
+	head := n.Head()
+	// Heavyweight commands get a pipeline-lane trace span; declaration and
+	// expression commands are too cheap and numerous to be worth recording.
+	switch head {
+	case "run", "run-schedule", "extract", "check", "query", "explain":
+		if rec := p.RunDefaults.Recorder; rec.Enabled() {
+			rec.SetLaneName(obs.LanePipeline, "pipeline")
+			defer rec.Span(obs.LanePipeline, "command", head)()
+		}
+	}
+	switch head {
 	case "sort":
 		return nil, p.declareSort(args)
 	case "datatype":

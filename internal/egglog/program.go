@@ -407,6 +407,12 @@ func (p *Program) RunRules(cfg egraph.RunConfig) egraph.RunReport {
 	if !cfg.Naive {
 		cfg.Naive = p.RunDefaults.Naive
 	}
+	if !cfg.RuleMetrics {
+		cfg.RuleMetrics = p.RunDefaults.RuleMetrics
+	}
+	if cfg.Recorder == nil {
+		cfg.Recorder = p.RunDefaults.Recorder
+	}
 	p.LastRun = p.g.Run(p.rules, cfg)
 	return p.LastRun
 }

@@ -64,7 +64,7 @@ func (p *Program) RunSchedule(items []*sexp.Node, cfg egraph.RunConfig) (egraph.
 		if err != nil {
 			return total, err
 		}
-		mergeReports(&total, rep)
+		total.Merge(rep)
 		if rep.Err != nil {
 			total.Err = rep.Err
 			break
@@ -72,20 +72,6 @@ func (p *Program) RunSchedule(items []*sexp.Node, cfg egraph.RunConfig) (egraph.
 	}
 	p.LastRun = total
 	return total, nil
-}
-
-func mergeReports(total *egraph.RunReport, rep egraph.RunReport) {
-	total.Iterations += rep.Iterations
-	total.Elapsed += rep.Elapsed
-	total.MatchTime += rep.MatchTime
-	total.ApplyTime += rep.ApplyTime
-	total.RebuildTime += rep.RebuildTime
-	total.RowsScanned += rep.RowsScanned
-	total.PerIter = append(total.PerIter, rep.PerIter...)
-	total.Nodes = rep.Nodes
-	total.Classes = rep.Classes
-	total.Stop = rep.Stop
-	total.Workers = rep.Workers
 }
 
 func (p *Program) runScheduleItem(item *sexp.Node, cfg egraph.RunConfig) (egraph.RunReport, error) {
@@ -141,7 +127,7 @@ func (p *Program) runScheduleItem(item *sexp.Node, cfg egraph.RunConfig) (egraph
 				if err != nil {
 					return total, err
 				}
-				mergeReports(&total, rep)
+				total.Merge(rep)
 				if rep.Err != nil {
 					total.Err = rep.Err
 					return total, nil
@@ -164,7 +150,7 @@ func (p *Program) runScheduleItem(item *sexp.Node, cfg egraph.RunConfig) (egraph
 			if err != nil {
 				return total, err
 			}
-			mergeReports(&total, rep)
+			total.Merge(rep)
 			if rep.Err != nil {
 				total.Err = rep.Err
 				return total, nil
@@ -183,7 +169,7 @@ func (p *Program) runScheduleItem(item *sexp.Node, cfg egraph.RunConfig) (egraph
 				if err != nil {
 					return total, err
 				}
-				mergeReports(&total, rep)
+				total.Merge(rep)
 				if rep.Err != nil {
 					total.Err = rep.Err
 					return total, nil

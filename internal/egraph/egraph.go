@@ -27,6 +27,11 @@ type EGraph struct {
 	// unionCount increments on every effective union; the runner uses it to
 	// detect fixpoints.
 	unionCount uint64
+	// effects counts graph mutations other than unions: new table rows,
+	// primitive-merge value changes, and cost-override installs. The
+	// runner's per-rule metrics read unionCount+effects around each match
+	// apply to classify it as effective or a no-op.
+	effects uint64
 	// dirty is set when a union happened since the last Rebuild.
 	dirty bool
 	// proofs, when non-nil, records union provenance for Explain.
@@ -305,6 +310,7 @@ func (g *EGraph) Insert(f *Function, args ...Value) (Value, error) {
 	}
 	f.table.insert(canon, out, g.epoch)
 	f.table.invalidateArgIndex()
+	g.effects++
 	if g.trackOrig && f.IsConstructor() {
 		if g.createdBy == nil {
 			g.createdBy = make(map[uint32]createdRef)
@@ -376,11 +382,13 @@ func (g *EGraph) Set(f *Function, args []Value, out Value) error {
 			f.table.rows[i].outCanon = merged.Bits
 			f.table.touch(i, g.epoch)
 			f.table.invalidateArgIndex()
+			g.effects++
 		}
 		return nil
 	}
 	f.table.insert(canon, out, g.epoch)
 	f.table.invalidateArgIndex()
+	g.effects++
 	return nil
 }
 
@@ -430,6 +438,7 @@ func (g *EGraph) SetNodeCost(f *Function, args []Value, cost int64) error {
 		return nil // keep the cheaper of the two
 	}
 	f.costTable[key] = cost
+	g.effects++
 	return nil
 }
 

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"dialegg/internal/obs"
 )
 
 // RunConfig bounds a saturation run. Zero fields get defaults.
@@ -31,10 +33,22 @@ type RunConfig struct {
 	// improves load balance; the merged match order is unchanged by
 	// either knob.
 	MatchShards int
-	// RecordTaskTimes populates IterStats.TaskTimes with each match
-	// task's duration, making the match phase's parallelism observable
-	// (per-shard work and its balance across workers).
+	// RecordTaskTimes populates IterStats.TaskTimes and TaskRows with
+	// each match task's duration and row count, making the match phase's
+	// parallelism observable (per-shard work and its balance across
+	// workers).
 	RecordTaskTimes bool
+	// RuleMetrics enables per-rule accounting (RunReport.Rules) and the
+	// expensive per-iteration gauges (Classes, LiveRows/DeadRows, Finds).
+	// Off — the default — none of these are computed, keeping the
+	// saturation loop's per-iteration cost flat.
+	RuleMetrics bool
+	// Recorder, when non-nil, receives structured trace spans: one per
+	// iteration and per phase on the engine lane, and one per match task
+	// on its worker's lane. The spans render as Chrome trace-event JSON
+	// via the recorder's WriteTrace. A nil Recorder records nothing and
+	// costs nothing.
+	Recorder *obs.Recorder
 	// Naive disables semi-naive delta matching, re-matching every rule
 	// against the entire database each iteration. Semi-naive mode (the
 	// default) matches only against rows inserted or re-canonicalized
@@ -84,60 +98,82 @@ const (
 	StopMatchLimit StopReason = "match limit"
 )
 
-// RunReport summarizes a saturation run.
+// RunReport summarizes a saturation run. Duration fields marshal as
+// nanoseconds (Go's time.Duration JSON encoding); the `_ns` name suffix
+// records that in the stats-JSON schema.
 type RunReport struct {
-	Iterations int
-	Stop       StopReason
-	Nodes      int
-	Classes    int
-	Elapsed    time.Duration
+	Iterations int           `json:"iterations"`
+	Stop       StopReason    `json:"stop"`
+	Nodes      int           `json:"nodes"`
+	Classes    int           `json:"classes"`
+	Elapsed    time.Duration `json:"elapsed_ns"`
 	// Workers is the match-phase worker count the run used.
-	Workers int
+	Workers int `json:"workers"`
 	// MatchTime, ApplyTime, and RebuildTime total the three phases across
 	// all iterations (MatchTime is wall time of the parallel phase, not
 	// the sum over workers).
-	MatchTime   time.Duration
-	ApplyTime   time.Duration
-	RebuildTime time.Duration
+	MatchTime   time.Duration `json:"match_ns"`
+	ApplyTime   time.Duration `json:"apply_ns"`
+	RebuildTime time.Duration `json:"rebuild_ns"`
 	// RowsScanned totals the match phase's row visits (scan loop
 	// iterations plus direct lookups) across all iterations — the
 	// quantity semi-naive matching shrinks.
-	RowsScanned int64
+	RowsScanned int64 `json:"rows_scanned"`
 	// PerIter records per-iteration statistics for scalability studies.
-	PerIter []IterStats
+	PerIter []IterStats `json:"per_iter,omitempty"`
+	// Rules holds per-rule metrics in rule-declaration order when
+	// RunConfig.RuleMetrics was set.
+	Rules []RuleStats `json:"rules,omitempty"`
 	// Err holds the first rule error, if Stop == StopRuleError.
-	Err error
+	Err error `json:"-"`
 }
 
 // IterStats records one saturation iteration.
 type IterStats struct {
 	// Matches is the number of matches applied this iteration.
-	Matches int
+	Matches int `json:"matches"`
 	// Nodes is the e-node count after the iteration's rebuild.
-	Nodes int
-	// Unions counts effective unions performed by applies and rebuild.
-	Unions uint64
+	Nodes int `json:"nodes"`
+	// Classes is the e-class count after the rebuild. Computing it walks
+	// every constructor row, so it is only populated (non-zero) when
+	// RunConfig.RuleMetrics is set.
+	Classes int `json:"classes,omitempty"`
+	// Unions counts effective unions performed by applies and rebuild;
+	// RebuildUnions is the rebuild-only share (congruence repairs).
+	Unions        uint64 `json:"unions"`
+	RebuildUnions uint64 `json:"rebuild_unions"`
 	// MatchTime, ApplyTime, RebuildTime split the iteration's phases.
-	MatchTime   time.Duration
-	ApplyTime   time.Duration
-	RebuildTime time.Duration
+	MatchTime   time.Duration `json:"match_ns"`
+	ApplyTime   time.Duration `json:"apply_ns"`
+	RebuildTime time.Duration `json:"rebuild_ns"`
 	// RebuildPasses is how many passes Rebuild needed to restore
 	// congruence (repair rounds).
-	RebuildPasses int
-	// TaskTimes holds each match task's duration in task-plan order
-	// (rule-major, shard-minor) when RunConfig.RecordTaskTimes is set.
-	TaskTimes []time.Duration
+	RebuildPasses int `json:"rebuild_passes"`
+	// TaskTimes and TaskRows hold each match task's duration and row
+	// visits in task-plan order (rule-major, shard-minor) when
+	// RunConfig.RecordTaskTimes is set. sum(TaskRows) == RowsScanned.
+	TaskTimes []time.Duration `json:"task_times_ns,omitempty"`
+	TaskRows  []int64         `json:"task_rows,omitempty"`
 	// RowsScanned counts the iteration's match-phase row visits (scan
 	// loop iterations plus direct lookups) summed over all tasks.
-	RowsScanned int64
+	RowsScanned int64 `json:"rows_scanned"`
 	// DeltaRows is the size of the iteration's delta frontier: the live
 	// rows inserted or re-canonicalized during the previous iteration,
 	// which is all semi-naive matching scans at the top level.
-	DeltaRows int
+	DeltaRows int `json:"delta_rows"`
 	// SemiNaive reports whether this iteration matched delta-restricted
 	// sub-queries (false for naive mode and for every run's first
 	// iteration, which must match the full database).
-	SemiNaive bool
+	SemiNaive bool `json:"semi_naive"`
+	// LiveRows and DeadRows census the database tables after the
+	// iteration's rebuild (dead rows await compaction). Populated only
+	// when RunConfig.RuleMetrics is set.
+	LiveRows int `json:"live_rows,omitempty"`
+	DeadRows int `json:"dead_rows,omitempty"`
+	// Finds counts union-find Find calls during the iteration (match
+	// canonicalization plus rebuild repair). Populated only when
+	// RunConfig.RuleMetrics is set.
+	Finds uint64 `json:"finds,omitempty"`
 }
 
 // Saturated reports whether the run reached a fixed point.
@@ -148,6 +184,8 @@ type ruleMatches struct {
 	rule      *Rule
 	matches   [][]Value
 	truncated bool
+	// found is the rule's pre-truncation match count this iteration.
+	found int64
 }
 
 // matchTask is one unit of match-phase work: one shard of one sub-query
@@ -165,6 +203,13 @@ type matchTask struct {
 	keys    [][]int32
 	scanned int64
 	err     error
+	// began/took/worker time the task and name its worker's trace lane.
+	// They live here — goroutine-private until the phase barrier — so
+	// observability adds no shared-state traffic to the hot path; the
+	// runner reads them serially after the pool drains.
+	began  time.Time
+	took   time.Duration
+	worker int
 }
 
 // shardMinRows is the smallest top-level scan worth splitting across
@@ -267,7 +312,11 @@ func keyLess(a, b []int32) bool {
 // match would enumerate those (new) matches in. Matching only reads the
 // graph: pool interning, union-find path halving, and lazy index builds
 // are internally synchronized.
-func (g *EGraph) collectMatches(rules []*Rule, cfg RunConfig, delta bool, minStamp uint64) ([]ruleMatches, []time.Duration, int64, error) {
+//
+// The returned tasks carry per-task timings, row counts, and worker ids
+// when any consumer wants them (RecordTaskTimes, RuleMetrics, or an
+// enabled Recorder); the runner aggregates them serially after the phase.
+func (g *EGraph) collectMatches(rules []*Rule, cfg RunConfig, delta bool, minStamp uint64) ([]ruleMatches, []matchTask, int64, error) {
 	workers, matchLimit := cfg.Workers, cfg.MatchLimit
 	var tasks []matchTask
 	if delta {
@@ -275,16 +324,13 @@ func (g *EGraph) collectMatches(rules []*Rule, cfg RunConfig, delta bool, minSta
 	} else {
 		tasks = g.planMatchTasks(rules, cfg.MatchShards)
 	}
-	var taskTimes []time.Duration
-	if cfg.RecordTaskTimes {
-		taskTimes = make([]time.Duration, len(tasks))
-	}
+	timeTasks := cfg.RecordTaskTimes || cfg.RuleMetrics || cfg.Recorder.Enabled()
 
-	runTask := func(i int) {
+	runTask := func(worker, i int) {
 		t := &tasks[i]
-		var begin time.Time
-		if taskTimes != nil {
-			begin = time.Now()
+		t.worker = worker
+		if timeTasks {
+			t.began = time.Now()
 		}
 		r := rules[t.ruleIdx]
 		spec := matchSpec{deltaOrd: t.sub, minStamp: minStamp}
@@ -295,26 +341,26 @@ func (g *EGraph) collectMatches(rules []*Rule, cfg RunConfig, delta bool, minSta
 			}
 			return len(t.buf) < matchLimit
 		})
-		if taskTimes != nil {
-			taskTimes[i] = time.Since(begin)
+		if timeTasks {
+			t.took = time.Since(t.began)
 		}
 	}
 
 	if workers <= 1 {
 		for i := range tasks {
-			runTask(i)
+			runTask(0, i)
 		}
 	} else {
 		idx := make(chan int)
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(w int) {
 				defer wg.Done()
 				for i := range idx {
-					runTask(i)
+					runTask(w, i)
 				}
-			}()
+			}(w)
 		}
 		for i := range tasks {
 			idx <- i
@@ -340,6 +386,7 @@ func (g *EGraph) collectMatches(rules []*Rule, cfg RunConfig, delta bool, minSta
 		}
 		scanned += t.scanned
 		rm := &merged[t.ruleIdx]
+		rm.found += int64(len(t.buf))
 		if len(rm.matches) == 0 {
 			rm.matches = t.buf
 			keys[t.ruleIdx] = t.keys
@@ -371,7 +418,17 @@ func (g *EGraph) collectMatches(rules []*Rule, cfg RunConfig, delta bool, minSta
 			rm.truncated = true
 		}
 	}
-	return merged, taskTimes, scanned, nil
+	return merged, tasks, scanned, nil
+}
+
+// rowCensus counts live and dead (tombstoned, awaiting compaction) rows
+// across all tables. O(#functions); used by the RuleMetrics gauges.
+func (g *EGraph) rowCensus() (live, dead int) {
+	for _, f := range g.funcs {
+		live += f.table.live
+		dead += len(f.table.rows) - f.table.live
+	}
+	return live, dead
 }
 
 // Run saturates the e-graph under the given rules: each iteration
@@ -390,16 +447,49 @@ func (g *EGraph) collectMatches(rules []*Rule, cfg RunConfig, delta bool, minSta
 // iteration matches the full database: mutations between runs carry no
 // frontier, so the full match re-establishes the baseline the deltas are
 // relative to.
+//
+// Observability is additive and, when off, free: cfg.RuleMetrics turns on
+// per-rule accounting (RunReport.Rules) plus the expensive per-iteration
+// gauges, and cfg.Recorder collects trace spans. Neither changes which
+// matches are found or applied.
 func (g *EGraph) Run(rules []*Rule, cfg RunConfig) RunReport {
 	cfg = cfg.withDefaults()
 	start := time.Now()
 	report := RunReport{Stop: StopIterLimit, Workers: cfg.Workers}
+	rec := cfg.Recorder
+
+	var rstats []RuleStats
+	if cfg.RuleMetrics {
+		rstats = make([]RuleStats, len(rules))
+		for i, r := range rules {
+			rstats[i].Name = r.Name
+		}
+		// The Find counter is toggled here, in the serial prologue, so the
+		// match phase's concurrent Finds all observe counting == true (the
+		// worker goroutine spawns give the happens-before edge).
+		g.uf.SetCounting(true)
+		defer g.uf.SetCounting(false)
+	}
+	if rec.Enabled() {
+		rec.SetLaneName(obs.LaneEngine, "engine")
+		for w := 0; w < cfg.Workers; w++ {
+			rec.SetLaneName(obs.LaneWorker+w, fmt.Sprintf("match worker %d", w))
+		}
+		defer func() {
+			rec.Complete(obs.LaneEngine, "phase", "run", start, report.Elapsed, map[string]int64{
+				"iterations": int64(report.Iterations),
+				"nodes":      int64(report.Nodes),
+				"rows":       report.RowsScanned,
+			})
+		}()
+	}
 
 	for iter := 0; iter < cfg.IterLimit; iter++ {
 		if time.Since(start) > cfg.TimeLimit {
 			report.Stop = StopTimeLimit
 			break
 		}
+		iterStart := time.Now()
 		// Matching relies on canonical rows (for safe concurrent reads and
 		// the per-argument indexes); restore congruence if a caller left
 		// the graph dirty. This is also what makes the match-phase reads a
@@ -414,22 +504,66 @@ func (g *EGraph) Run(rules []*Rule, cfg RunConfig) RunReport {
 		useDelta := !cfg.Naive && iter > 0
 		unionsBefore := g.unionCount
 		rowsBefore := g.TotalRows()
+		findsBefore := g.uf.Finds()
 		var it IterStats
 		it.DeltaRows = deltaRows
 		it.SemiNaive = useDelta
 
 		// Phase 1: match all rules against the frozen view on the pool.
 		startMatch := time.Now()
-		pending, taskTimes, scanned, err := g.collectMatches(rules, cfg, useDelta, minStamp)
+		pending, tasks, scanned, err := g.collectMatches(rules, cfg, useDelta, minStamp)
 		it.MatchTime = time.Since(startMatch)
-		it.TaskTimes = taskTimes
 		it.RowsScanned = scanned
 		report.RowsScanned += scanned
 		report.MatchTime += it.MatchTime
+		if cfg.RecordTaskTimes {
+			it.TaskTimes = make([]time.Duration, len(tasks))
+			it.TaskRows = make([]int64, len(tasks))
+			for i := range tasks {
+				it.TaskTimes[i] = tasks[i].took
+				it.TaskRows[i] = tasks[i].scanned
+			}
+		}
+		if cfg.RuleMetrics {
+			for i := range tasks {
+				t := &tasks[i]
+				rs := &rstats[t.ruleIdx]
+				rs.RowsScanned += t.scanned
+				rs.MatchTime += t.took
+				// Count each (rule, sub-query) plan once, on its first
+				// shard: sub >= 0 is a delta-restricted sub-query, sub < 0
+				// a full scan (naive iterations and hybrid fallbacks).
+				if t.lo == 0 {
+					if t.sub >= 0 {
+						rs.DeltaQueries++
+					} else {
+						rs.FullScans++
+					}
+				}
+			}
+			for i := range pending {
+				rstats[i].Matched += pending[i].found
+			}
+		}
+		if rec.Enabled() {
+			for i := range tasks {
+				t := &tasks[i]
+				rec.Complete(obs.LaneWorker+t.worker, "match", rules[t.ruleIdx].Name, t.began, t.took, map[string]int64{
+					"rows":    t.scanned,
+					"matches": int64(len(t.buf)),
+					"sub":     int64(t.sub),
+				})
+			}
+			rec.Complete(obs.LaneEngine, "phase", "match", startMatch, it.MatchTime, map[string]int64{
+				"rows":  scanned,
+				"tasks": int64(len(tasks)),
+			})
+		}
 		if err != nil {
 			report.Stop = StopRuleError
 			report.Err = err
 			report.PerIter = append(report.PerIter, it)
+			report.Rules = rstats
 			report.finish(g, start)
 			return report
 		}
@@ -448,17 +582,40 @@ func (g *EGraph) Run(rules []*Rule, cfg RunConfig) RunReport {
 		startApply := time.Now()
 		applied := 0
 		g.beginFrozenApply()
-		for _, rm := range pending {
+		for ri := range pending {
+			rm := &pending[ri]
+			var ruleStart time.Time
+			if cfg.RuleMetrics && len(rm.matches) > 0 {
+				ruleStart = time.Now()
+			}
 			for _, binds := range rm.matches {
+				// A match whose actions moved neither the union counter nor
+				// the effect counter (new rows, merge changes, cost installs)
+				// changed nothing — the per-rule no-op count is what makes
+				// naive mode's redundant re-matching visible in --stats.
+				var before uint64
+				if cfg.RuleMetrics {
+					before = g.unionCount + g.effects
+				}
 				if err := g.ApplyActions(rm.rule, binds); err != nil {
 					g.endFrozenApply()
 					report.Stop = StopRuleError
 					report.Err = fmt.Errorf("applying rule %s: %w", rm.rule.Name, err)
 					report.PerIter = append(report.PerIter, it)
+					report.Rules = rstats
 					report.finish(g, start)
 					return report
 				}
 				applied++
+				if cfg.RuleMetrics {
+					rstats[ri].Applied++
+					if g.unionCount+g.effects == before {
+						rstats[ri].Noops++
+					}
+				}
+			}
+			if cfg.RuleMetrics && len(rm.matches) > 0 {
+				rstats[ri].ApplyTime += time.Since(ruleStart)
 			}
 		}
 		g.endFrozenApply()
@@ -467,7 +624,9 @@ func (g *EGraph) Run(rules []*Rule, cfg RunConfig) RunReport {
 
 		// Phase 3: restore congruence.
 		startRebuild := time.Now()
+		rebuildUnionsBefore := g.unionCount
 		it.RebuildPasses = g.Rebuild()
+		it.RebuildUnions = g.unionCount - rebuildUnionsBefore
 		it.RebuildTime = time.Since(startRebuild)
 		report.RebuildTime += it.RebuildTime
 
@@ -476,7 +635,27 @@ func (g *EGraph) Run(rules []*Rule, cfg RunConfig) RunReport {
 		it.Matches = applied
 		it.Nodes = nodesAfter
 		it.Unions = g.unionCount - unionsBefore
+		if cfg.RuleMetrics {
+			it.Classes = g.NumClasses()
+			it.LiveRows, it.DeadRows = g.rowCensus()
+			it.Finds = g.uf.Finds() - findsBefore
+		}
 		report.PerIter = append(report.PerIter, it)
+		if rec.Enabled() {
+			rec.Complete(obs.LaneEngine, "phase", "apply", startApply, it.ApplyTime, map[string]int64{
+				"matches": int64(applied),
+			})
+			rec.Complete(obs.LaneEngine, "phase", "rebuild", startRebuild, it.RebuildTime, map[string]int64{
+				"passes": int64(it.RebuildPasses),
+				"unions": int64(it.RebuildUnions),
+			})
+			rec.Complete(obs.LaneEngine, "iter", fmt.Sprintf("iteration %d", iter+1), iterStart, time.Since(iterStart), map[string]int64{
+				"matches":    int64(applied),
+				"nodes":      int64(nodesAfter),
+				"delta_rows": int64(deltaRows),
+				"unions":     int64(it.Unions),
+			})
+		}
 
 		if truncated {
 			report.Stop = StopMatchLimit
@@ -491,6 +670,7 @@ func (g *EGraph) Run(rules []*Rule, cfg RunConfig) RunReport {
 			break
 		}
 	}
+	report.Rules = rstats
 	report.finish(g, start)
 	return report
 }

@@ -1,0 +1,113 @@
+package egraph
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// RuleStats accumulates one rule's observability counters across a
+// saturation run (RunConfig.RuleMetrics). This is the per-rule accounting
+// egg's reports made standard: it answers "which rule is the run spending
+// its time and its matches on", which is what makes rule sets tunable.
+type RuleStats struct {
+	Name string `json:"name"`
+	// Matched counts matches the match phase collected for the rule
+	// (before any MatchLimit truncation), summed over iterations.
+	Matched int64 `json:"matched"`
+	// Applied counts matches whose actions actually ran (after
+	// truncation). Applied <= Matched always.
+	Applied int64 `json:"applied"`
+	// Noops counts applied matches that changed nothing: no effective
+	// union, no new row, no merge-value change. In semi-naive mode these
+	// stay near zero; in naive mode they dominate late iterations.
+	Noops int64 `json:"noops"`
+	// RowsScanned totals the rule's match-phase row visits.
+	RowsScanned int64 `json:"rows_scanned"`
+	// DeltaQueries counts delta-restricted sub-queries the semi-naive
+	// planner ran for the rule; FullScans counts full-query plans (every
+	// naive iteration, each run's first iteration, and hybrid fallbacks).
+	DeltaQueries int64 `json:"delta_queries"`
+	FullScans    int64 `json:"full_scans"`
+	// MatchTime sums the rule's match-task durations (CPU time across
+	// workers, not wall time); ApplyTime sums its apply batches.
+	MatchTime time.Duration `json:"match_ns"`
+	ApplyTime time.Duration `json:"apply_ns"`
+}
+
+// add folds another accumulation of the same rule into s.
+func (s *RuleStats) add(o RuleStats) {
+	s.Matched += o.Matched
+	s.Applied += o.Applied
+	s.Noops += o.Noops
+	s.RowsScanned += o.RowsScanned
+	s.DeltaQueries += o.DeltaQueries
+	s.FullScans += o.FullScans
+	s.MatchTime += o.MatchTime
+	s.ApplyTime += o.ApplyTime
+}
+
+// MergeRuleStats folds src into dst by rule name, preserving dst's order
+// and appending rules dst has not seen. Used when aggregating reports
+// across schedule items or across the functions of a module.
+func MergeRuleStats(dst, src []RuleStats) []RuleStats {
+	if len(src) == 0 {
+		return dst
+	}
+	byName := make(map[string]int, len(dst))
+	for i := range dst {
+		byName[dst[i].Name] = i
+	}
+	for _, s := range src {
+		if i, ok := byName[s.Name]; ok {
+			dst[i].add(s)
+		} else {
+			byName[s.Name] = len(dst)
+			dst = append(dst, s)
+		}
+	}
+	return dst
+}
+
+// Merge folds another run's report into r: durations, row counts, and
+// iteration counts are summed, per-iteration and per-rule stats are
+// carried over (rules merged by name), and the final-state fields (nodes,
+// classes, stop reason) take o's values. Both the egglog scheduler and
+// the DialEgg module driver aggregate reports this way, so nothing a
+// sub-run measured is dropped from the total.
+func (r *RunReport) Merge(o RunReport) {
+	r.Iterations += o.Iterations
+	r.Elapsed += o.Elapsed
+	r.MatchTime += o.MatchTime
+	r.ApplyTime += o.ApplyTime
+	r.RebuildTime += o.RebuildTime
+	r.RowsScanned += o.RowsScanned
+	r.PerIter = append(r.PerIter, o.PerIter...)
+	r.Rules = MergeRuleStats(r.Rules, o.Rules)
+	r.Nodes = o.Nodes
+	r.Classes = o.Classes
+	r.Stop = o.Stop
+	if o.Workers != 0 {
+		r.Workers = o.Workers
+	}
+	if r.Err == nil {
+		r.Err = o.Err
+	}
+}
+
+// FormatRuleStats renders per-rule metrics as an aligned text table in
+// rule-declaration order (the CLIs' --stats output). Times are printed in
+// milliseconds with enough precision for CI-scale runs.
+func FormatRuleStats(rules []RuleStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-32s %9s %9s %7s %10s %6s %5s %10s %10s\n",
+		"rule", "matched", "applied", "noops", "rows", "delta", "full", "match(ms)", "apply(ms)")
+	for _, r := range rules {
+		fmt.Fprintf(&b, "%-32s %9d %9d %7d %10d %6d %5d %10.3f %10.3f\n",
+			r.Name, r.Matched, r.Applied, r.Noops, r.RowsScanned,
+			r.DeltaQueries, r.FullScans,
+			float64(r.MatchTime.Nanoseconds())/1e6,
+			float64(r.ApplyTime.Nanoseconds())/1e6)
+	}
+	return b.String()
+}

@@ -1,0 +1,155 @@
+// Package obs is the observability layer of the saturation engine and the
+// DialEgg pipeline: a low-overhead span/event recorder whose output renders
+// as Chrome trace-event JSON (chrome://tracing, Perfetto), plus pprof
+// profiling helpers for the CLIs.
+//
+// The recorder is designed around two constraints:
+//
+//   - Zero cost when disabled. Every method is safe on a nil *Recorder and
+//     returns immediately, so instrumented code guards nothing and
+//     allocates nothing unless a trace was requested.
+//   - Safe under the match-phase worker pool. Event appends are
+//     mutex-guarded, so concurrent recorders cannot corrupt the buffer;
+//     the saturation runner additionally buffers per-task timings in its
+//     (goroutine-private) task structs and emits them after the phase
+//     barrier, keeping the recorder entirely off the parallel hot path.
+//
+// Events are complete spans ("X" phase in the trace-event format) placed
+// on lanes: lane 0 is the pipeline (DialEgg phases, egglog commands),
+// lane 1 the engine (iterations and their match/apply/rebuild phases),
+// and lanes LaneWorker+w the match-phase workers, which is what makes the
+// pool's load balance visible in a trace viewer.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Lanes (trace "tid"s). Worker w records on LaneWorker + w.
+const (
+	LanePipeline = 0
+	LaneEngine   = 1
+	LaneWorker   = 100
+)
+
+// Event is one recorded span in trace-event terms: a complete ("X") event
+// with a start timestamp and duration relative to the recorder's epoch.
+type Event struct {
+	// Name is the span label (rule name, phase name, command head).
+	Name string
+	// Cat is the event category ("phase", "iter", "match", "command").
+	Cat string
+	// Lane is the trace thread the event renders on.
+	Lane int
+	// Start is the offset from the recorder's epoch.
+	Start time.Duration
+	// Dur is the span length.
+	Dur time.Duration
+	// Args holds optional key/value annotations shown in the viewer.
+	Args map[string]int64
+}
+
+// Recorder accumulates trace events. The zero value is not useful; create
+// one with NewRecorder. A nil *Recorder is the disabled recorder: every
+// method is a cheap no-op, so callers thread it unconditionally.
+type Recorder struct {
+	mu     sync.Mutex
+	epoch  time.Time
+	events []Event
+	lanes  map[int]string
+}
+
+// NewRecorder returns an enabled recorder whose epoch is now.
+func NewRecorder() *Recorder {
+	return &Recorder{epoch: time.Now(), lanes: make(map[int]string)}
+}
+
+// Enabled reports whether events are being recorded. It is the guard
+// instrumented code uses before doing per-event work (like reading the
+// clock) that the nil-receiver no-ops cannot elide.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Epoch returns the recorder's time origin.
+func (r *Recorder) Epoch() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	return r.epoch
+}
+
+// SetLaneName names a lane in the trace viewer ("pipeline", "worker 3").
+func (r *Recorder) SetLaneName(lane int, name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.lanes[lane] = name
+	r.mu.Unlock()
+}
+
+// Complete records a span that ran from start for dur. args may be nil.
+func (r *Recorder) Complete(lane int, cat, name string, start time.Time, dur time.Duration, args map[string]int64) {
+	if r == nil {
+		return
+	}
+	ev := Event{Name: name, Cat: cat, Lane: lane, Start: start.Sub(r.epoch), Dur: dur, Args: args}
+	r.mu.Lock()
+	r.events = append(r.events, ev)
+	r.mu.Unlock()
+}
+
+// Span starts a span now and returns the function that ends it. Usage:
+//
+//	defer rec.Span(obs.LanePipeline, "command", "run")()
+func (r *Recorder) Span(lane int, cat, name string) func() {
+	if r == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { r.Complete(lane, cat, name, start, time.Since(start), nil) }
+}
+
+// Events returns a copy of the recorded events sorted by start time
+// (longer spans first on ties, so parents precede their children).
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	r.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Dur > out[j].Dur
+	})
+	return out
+}
+
+// LaneNames returns a copy of the lane-name table.
+func (r *Recorder) LaneNames() map[int]string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[int]string, len(r.lanes))
+	for k, v := range r.lanes {
+		out[k] = v
+	}
+	return out
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilRecorderIsNoOp: every method must be safe (and cheap) on the
+// disabled nil recorder — this is what lets instrumented code thread a
+// recorder unconditionally.
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	r.SetLaneName(1, "x")
+	r.Complete(1, "cat", "name", time.Now(), time.Second, nil)
+	r.Span(1, "cat", "name")()
+	if r.Len() != 0 || r.Events() != nil || r.LaneNames() != nil {
+		t.Fatal("nil recorder produced state")
+	}
+	if !r.Epoch().IsZero() {
+		t.Fatal("nil recorder has an epoch")
+	}
+}
+
+// TestRecorderEventsSorted: Events returns spans in start order with
+// longer spans first on ties, so a parent always precedes its children in
+// the emitted trace (the property the ts-monotonicity check rides on).
+func TestRecorderEventsSorted(t *testing.T) {
+	r := NewRecorder()
+	base := r.Epoch()
+	r.Complete(0, "c", "child", base.Add(10*time.Microsecond), 5*time.Microsecond, nil)
+	r.Complete(0, "c", "parent", base.Add(10*time.Microsecond), 50*time.Microsecond, nil)
+	r.Complete(0, "c", "early", base, time.Microsecond, nil)
+	evs := r.Events()
+	names := []string{evs[0].Name, evs[1].Name, evs[2].Name}
+	want := []string{"early", "parent", "child"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("order = %v, want %v", names, want)
+		}
+	}
+}
+
+// TestRecorderConcurrent: concurrent Complete/Span/SetLaneName calls from
+// many goroutines lose no events (run under -race in CI).
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder()
+	const goroutines, each = 8, 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r.SetLaneName(LaneWorker+g, "worker")
+				r.Complete(LaneWorker+g, "match", "rule", time.Now(), time.Microsecond, map[string]int64{"i": int64(i)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Len() != goroutines*each {
+		t.Fatalf("recorded %d events, want %d", r.Len(), goroutines*each)
+	}
+}
+
+// TestWriteTraceValidates: the writer's own output passes the validator
+// and carries the expected structure (object flavor, metadata, lanes).
+func TestWriteTraceValidates(t *testing.T) {
+	r := NewRecorder()
+	r.SetLaneName(LanePipeline, "pipeline")
+	r.SetLaneName(LaneEngine, "engine")
+	base := r.Epoch()
+	r.Complete(LanePipeline, "phase", "saturate", base, 100*time.Microsecond, map[string]int64{"iterations": 3})
+	r.Complete(LaneEngine, "iter", "iteration 1", base.Add(time.Microsecond), 40*time.Microsecond, nil)
+	r.Complete(LaneWorker, "match", "comm-add", base.Add(2*time.Microsecond), 10*time.Microsecond, nil)
+
+	var sb strings.Builder
+	if err := r.WriteTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	data := sb.String()
+	spans, err := ValidateTrace([]byte(data))
+	if err != nil {
+		t.Fatalf("writer output does not validate: %v\n%s", err, data)
+	}
+	if spans != 3 {
+		t.Fatalf("validated %d spans, want 3", spans)
+	}
+
+	var f struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal([]byte(data), &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", f.DisplayTimeUnit)
+	}
+	var procName, laneNames, argSpans int
+	for _, ev := range f.TraceEvents {
+		switch {
+		case ev.Ph == "M" && ev.Name == "process_name":
+			procName++
+		case ev.Ph == "M" && ev.Name == "thread_name":
+			laneNames++
+		case ev.Ph == "X" && len(ev.Args) > 0:
+			argSpans++
+		}
+	}
+	if procName != 1 || laneNames != 2 {
+		t.Errorf("metadata events: %d process_name, %d thread_name", procName, laneNames)
+	}
+	if argSpans != 1 {
+		t.Errorf("spans with args = %d, want 1", argSpans)
+	}
+}
+
+// TestValidateTraceRejects: the validator catches each class of
+// malformation it documents.
+func TestValidateTraceRejects(t *testing.T) {
+	cases := []struct {
+		name, data, wantErr string
+	}{
+		{"not json", `{`, "not valid JSON"},
+		{"no traceEvents", `{"other": []}`, "missing traceEvents"},
+		{"empty", `{"traceEvents": []}`, "no span events"},
+		{"unnamed event", `{"traceEvents": [{"ph": "X", "ts": 1, "dur": 1}]}`, "missing name"},
+		{"unknown phase", `{"traceEvents": [{"name": "a", "ph": "Q", "ts": 1}]}`, "unknown phase"},
+		{"missing ts", `{"traceEvents": [{"name": "a", "ph": "X", "dur": 1}]}`, "needs ts"},
+		{"negative dur", `{"traceEvents": [{"name": "a", "ph": "X", "ts": 1, "dur": -1}]}`, "needs dur"},
+		{"non-monotonic", `{"traceEvents": [
+			{"name": "a", "ph": "X", "ts": 10, "dur": 1},
+			{"name": "b", "ph": "X", "ts": 5, "dur": 1}]}`, "not monotonic"},
+		{"unbalanced B", `{"traceEvents": [{"name": "a", "ph": "B", "ts": 1}]}`, "unbalanced"},
+		{"E without B", `{"traceEvents": [{"name": "a", "ph": "E", "ts": 1}]}`, "without matching B"},
+	}
+	for _, tc := range cases {
+		_, err := ValidateTrace([]byte(tc.data))
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.wantErr)
+		}
+	}
+	// Balanced B/E with X events interleaved is legal.
+	ok := `{"traceEvents": [
+		{"name": "a", "ph": "B", "ts": 1, "tid": 3},
+		{"name": "x", "ph": "X", "ts": 2, "dur": 1},
+		{"name": "a", "ph": "E", "ts": 5, "tid": 3}]}`
+	if _, err := ValidateTrace([]byte(ok)); err != nil {
+		t.Errorf("balanced B/E rejected: %v", err)
+	}
+}
+
+// TestSpanHelper: the defer-style Span helper records a completed event.
+func TestSpanHelper(t *testing.T) {
+	r := NewRecorder()
+	end := r.Span(LanePipeline, "command", "run")
+	time.Sleep(time.Millisecond)
+	end()
+	evs := r.Events()
+	if len(evs) != 1 || evs[0].Name != "run" || evs[0].Cat != "command" {
+		t.Fatalf("events = %+v", evs)
+	}
+	if evs[0].Dur <= 0 {
+		t.Errorf("span duration = %v, want > 0", evs[0].Dur)
+	}
+}

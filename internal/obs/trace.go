@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// traceEvent is one object of the Chrome trace-event format. Timestamps
+// and durations are microseconds (the format's unit); fractional values
+// keep sub-microsecond spans visible. Args is untyped because metadata
+// events carry string args while span events carry counters.
+type traceEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat,omitempty"`
+	Ph   string  `json:"ph"`
+	TS   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	PID  int     `json:"pid"`
+	TID  int     `json:"tid"`
+	Args any     `json:"args,omitempty"`
+}
+
+// metaEvent is a metadata record ("M" phase): it has no timestamp and its
+// args are strings (process/thread names).
+type metaEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+const tracePID = 1
+
+// WriteTrace renders the recorded events as Chrome trace-event JSON in
+// the object flavor ({"traceEvents": [...]}), loadable by chrome://tracing
+// and Perfetto. Metadata events name the process and lanes; span events
+// are emitted as complete ("X") events sorted by timestamp (ties broken
+// longest-first so parents precede children), making `ts` monotonic
+// non-decreasing in file order.
+func (r *Recorder) WriteTrace(w io.Writer) error {
+	var f struct {
+		TraceEvents     []any  `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	f.DisplayTimeUnit = "ms"
+	f.TraceEvents = append(f.TraceEvents, metaEvent{
+		Name: "process_name", Ph: "M", PID: tracePID,
+		Args: map[string]string{"name": "dialegg"},
+	})
+	lanes := r.LaneNames()
+	laneIDs := make([]int, 0, len(lanes))
+	for id := range lanes {
+		laneIDs = append(laneIDs, id)
+	}
+	sort.Ints(laneIDs)
+	for _, id := range laneIDs {
+		f.TraceEvents = append(f.TraceEvents, metaEvent{
+			Name: "thread_name", Ph: "M", PID: tracePID, TID: id,
+			Args: map[string]string{"name": lanes[id]},
+		})
+	}
+	for _, ev := range r.Events() {
+		te := traceEvent{
+			Name: ev.Name, Cat: ev.Cat, Ph: "X",
+			TS:  float64(ev.Start.Nanoseconds()) / 1e3,
+			Dur: float64(ev.Dur.Nanoseconds()) / 1e3,
+			PID: tracePID, TID: ev.Lane,
+		}
+		if len(ev.Args) > 0 {
+			te.Args = ev.Args
+		}
+		f.TraceEvents = append(f.TraceEvents, te)
+	}
+	b, err := json.MarshalIndent(f, "", " ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}
+
+// WriteTraceFile writes the trace to path.
+func (r *Recorder) WriteTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ValidateTrace checks that data is a loadable trace-event file: valid
+// JSON in the object flavor, every event carrying a name and a known
+// phase, complete ("X") events with non-negative ts/dur and ts monotonic
+// non-decreasing in file order, and duration ("B"/"E") events balanced
+// per lane. It returns the number of span events validated.
+func ValidateTrace(data []byte) (int, error) {
+	var f struct {
+		TraceEvents []struct {
+			Name string   `json:"name"`
+			Ph   string   `json:"ph"`
+			TS   *float64 `json:"ts"`
+			Dur  *float64 `json:"dur"`
+			TID  int      `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return 0, fmt.Errorf("trace: not valid JSON: %w", err)
+	}
+	if f.TraceEvents == nil {
+		return 0, fmt.Errorf("trace: missing traceEvents array")
+	}
+	spans := 0
+	lastTS := -1.0
+	depth := make(map[int]int) // B/E nesting per tid
+	for i, ev := range f.TraceEvents {
+		if ev.Name == "" {
+			return spans, fmt.Errorf("trace: event %d: missing name", i)
+		}
+		switch ev.Ph {
+		case "M":
+			// Metadata: no timestamp requirements.
+		case "X":
+			if ev.TS == nil || *ev.TS < 0 {
+				return spans, fmt.Errorf("trace: event %d (%s): X event needs ts >= 0", i, ev.Name)
+			}
+			if ev.Dur == nil || *ev.Dur < 0 {
+				return spans, fmt.Errorf("trace: event %d (%s): X event needs dur >= 0", i, ev.Name)
+			}
+			if *ev.TS < lastTS {
+				return spans, fmt.Errorf("trace: event %d (%s): ts %.3f not monotonic (prev %.3f)", i, ev.Name, *ev.TS, lastTS)
+			}
+			lastTS = *ev.TS
+			spans++
+		case "B":
+			if ev.TS == nil || *ev.TS < 0 {
+				return spans, fmt.Errorf("trace: event %d (%s): B event needs ts >= 0", i, ev.Name)
+			}
+			depth[ev.TID]++
+			spans++
+		case "E":
+			depth[ev.TID]--
+			if depth[ev.TID] < 0 {
+				return spans, fmt.Errorf("trace: event %d (%s): E without matching B on tid %d", i, ev.Name, ev.TID)
+			}
+		default:
+			return spans, fmt.Errorf("trace: event %d (%s): unknown phase %q", i, ev.Name, ev.Ph)
+		}
+	}
+	for tid, d := range depth {
+		if d != 0 {
+			return spans, fmt.Errorf("trace: %d unbalanced B events on tid %d", d, tid)
+		}
+	}
+	if spans == 0 {
+		return 0, fmt.Errorf("trace: no span events")
+	}
+	return spans, nil
+}
+
+// ValidateTraceFile validates the trace at path.
+func ValidateTraceFile(path string) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	return ValidateTrace(data)
+}

@@ -1,0 +1,109 @@
+// Command tracelint validates observability artifacts in CI: a Chrome
+// trace-event file (well-formed JSON, named events, monotonic complete
+// events, balanced B/E pairs) and optionally a stats-JSON file (schema
+// and cross-field invariants). It exits non-zero with a diagnostic when
+// either file is malformed, which is what `make trace-smoke` checks.
+//
+// Usage:
+//
+//	tracelint -trace trace.json [-stats stats.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"dialegg/internal/egraph"
+	"dialegg/internal/obs"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "Chrome trace-event file to validate")
+	statsPath := flag.String("stats", "", "stats-JSON file to validate (egg-opt or egglog output)")
+	flag.Parse()
+
+	if *tracePath == "" && *statsPath == "" {
+		fmt.Fprintln(os.Stderr, "tracelint: nothing to do; pass -trace and/or -stats")
+		os.Exit(2)
+	}
+	if *tracePath != "" {
+		spans, err := obs.ValidateTraceFile(*tracePath)
+		fatalIf(err)
+		fmt.Printf("trace OK: %s, %d spans\n", *tracePath, spans)
+	}
+	if *statsPath != "" {
+		fatalIf(validateStats(*statsPath))
+		fmt.Printf("stats OK: %s\n", *statsPath)
+	}
+}
+
+// validateStats parses a stats-JSON file — either an egg-opt report
+// (engine report nested under "run") or a bare egglog run report — and
+// checks the cross-field invariants the engine guarantees.
+func validateStats(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return fmt.Errorf("stats: not valid JSON: %w", err)
+	}
+	runData := data
+	if nested, ok := probe["run"]; ok {
+		runData = nested
+	}
+	var run egraph.RunReport
+	if err := json.Unmarshal(runData, &run); err != nil {
+		return fmt.Errorf("stats: run report: %w", err)
+	}
+	if run.Iterations < 1 {
+		return fmt.Errorf("stats: no iterations recorded")
+	}
+	if len(run.PerIter) != run.Iterations {
+		return fmt.Errorf("stats: %d per-iteration records for %d iterations", len(run.PerIter), run.Iterations)
+	}
+	var iterRows int64
+	for i, it := range run.PerIter {
+		iterRows += it.RowsScanned
+		if len(it.TaskRows) > 0 {
+			var taskRows int64
+			for _, r := range it.TaskRows {
+				taskRows += r
+			}
+			if taskRows != it.RowsScanned {
+				return fmt.Errorf("stats: iter %d: task rows %d != rows scanned %d", i+1, taskRows, it.RowsScanned)
+			}
+		}
+	}
+	if iterRows != run.RowsScanned {
+		return fmt.Errorf("stats: per-iteration rows %d != total rows scanned %d", iterRows, run.RowsScanned)
+	}
+	for _, r := range run.Rules {
+		if r.Applied > r.Matched {
+			return fmt.Errorf("stats: rule %s: applied %d > matched %d", r.Name, r.Applied, r.Matched)
+		}
+		if r.Noops > r.Applied {
+			return fmt.Errorf("stats: rule %s: noops %d > applied %d", r.Name, r.Noops, r.Applied)
+		}
+	}
+	if len(run.Rules) > 0 {
+		var ruleRows int64
+		for _, r := range run.Rules {
+			ruleRows += r.RowsScanned
+		}
+		if ruleRows != run.RowsScanned {
+			return fmt.Errorf("stats: per-rule rows %d != total rows scanned %d", ruleRows, run.RowsScanned)
+		}
+	}
+	return nil
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracelint:", err)
+		os.Exit(1)
+	}
+}

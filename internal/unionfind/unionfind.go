@@ -18,6 +18,14 @@ import "sync/atomic"
 type UF struct {
 	parent []atomic.Uint32
 	size   []uint32
+
+	// counting gates the finds counter. It is a plain bool: toggled only
+	// from serial phases (before concurrent Finds start), read by Finds on
+	// every call — a predictable branch, so the counter costs nothing when
+	// observability is off. finds itself is atomic because the match phase
+	// calls Find from many goroutines.
+	counting bool
+	finds    atomic.Uint64
 }
 
 // New returns an empty forest. Equivalent to new(UF); provided for symmetry
@@ -53,6 +61,9 @@ func (u *UF) MakeSet() uint32 {
 // Finds are safe: halving only rewrites a pointer to an ancestor, so
 // races between halvings converge to the same roots.
 func (u *UF) Find(x uint32) uint32 {
+	if u.counting {
+		u.finds.Add(1)
+	}
 	p := u.parent
 	for {
 		px := p[x].Load()
@@ -103,6 +114,15 @@ func (u *UF) UnionInto(keep, other uint32) uint32 {
 
 // SizeOf returns the number of elements in x's set.
 func (u *UF) SizeOf(x uint32) int { return int(u.size[u.Find(x)]) }
+
+// SetCounting enables or disables the Find-call counter. Must only be
+// called while no concurrent Finds are running (the saturation runner
+// toggles it between iterations' serial sections).
+func (u *UF) SetCounting(on bool) { u.counting = on }
+
+// Finds returns the number of Find calls recorded while counting was
+// enabled.
+func (u *UF) Finds() uint64 { return u.finds.Load() }
 
 // Reset discards all sets, retaining allocated capacity.
 func (u *UF) Reset() {
