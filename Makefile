@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet bench bench-smoke trace-smoke examples fig3 tables full clean
+.PHONY: all build test test-race vet bench bench-smoke trace-smoke debug-smoke examples fig3 tables full clean
 
 all: build vet test test-race
 
@@ -47,6 +47,19 @@ trace-smoke:
 	$(GO) run ./internal/obs/tracelint -trace trace.json -stats stats.json
 	@echo "trace-smoke: OK (trace.json, stats.json, cpu.pprof, mem.pprof)"
 
+# Time-travel smoke: journal a real run with embedded snapshots and an
+# extraction report, lint the journal's event-stream invariants, then
+# replay it with bit-identity verification and exercise diff/why.
+debug-smoke:
+	$(GO) run ./cmd/egg-opt -rules imgconv -workers 2 \
+		-journal journal.jsonl -snapshot-every 1 -explain-extraction \
+		examples/div_pow2.mlir > /dev/null 2> extraction.txt
+	$(GO) run ./internal/obs/tracelint -journal journal.jsonl
+	$(GO) run ./cmd/egg-debug replay -journal journal.jsonl -verify \
+		-snapshot snapshot.json -dot egraph.dot
+	$(GO) run ./cmd/egg-debug diff -journal journal.jsonl -from 1 -to -1
+	@echo "debug-smoke: OK (journal.jsonl, snapshot.json, egraph.dot, extraction.txt)"
+
 examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/horner
@@ -67,4 +80,5 @@ full:
 	$(GO) run ./cmd/benchtab -full
 
 clean:
-	rm -f test_output.txt bench_output.txt trace.json stats.json cpu.pprof mem.pprof
+	rm -f test_output.txt bench_output.txt trace.json stats.json cpu.pprof mem.pprof \
+		journal.jsonl snapshot.json egraph.dot extraction.txt

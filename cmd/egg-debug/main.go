@@ -1,0 +1,343 @@
+// Command egg-debug is the e-graph time-travel debugger: it consumes the
+// event journals written by egg-opt/egglog --journal and reconstructs the
+// e-graph at any saturation iteration, bit-identically to the state the
+// original run passed through.
+//
+// Usage:
+//
+//	egg-debug replay -journal run.jsonl -to-iter 3 -snapshot out.json
+//	egg-debug replay -journal run.jsonl -verify
+//	egg-debug diff   -journal run.jsonl -from 1 -to 3
+//	egg-debug diff   snapA.json snapB.json
+//	egg-debug dot    -journal run.jsonl -to-iter 2 -o graph.dot
+//	egg-debug why    -journal run.jsonl -class 7
+//
+// Subcommands:
+//
+//	replay  reconstruct the e-graph up to an iteration; print a summary
+//	        and optionally dump its snapshot JSON (-snapshot) or DOT
+//	        (-dot). -verify byte-compares every snapshot embedded in the
+//	        journal against the replayed state at the same point.
+//	diff    report classes merged and nodes added/killed between two
+//	        iterations (replayed from the journal) or two snapshot files.
+//	dot     render the replayed e-graph as Graphviz DOT.
+//	why     explain one e-class: its member nodes with creating-rule
+//	        provenance, and the union events that grew it.
+//
+// Multi-function journals (egg-opt on a module) carry one graph segment
+// per function; select one with -graph N (0-based).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"dialegg/internal/egraph"
+	"dialegg/internal/obs/journal"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "replay":
+		err = cmdReplay(os.Args[2:])
+	case "diff":
+		err = cmdDiff(os.Args[2:])
+	case "dot":
+		err = cmdDot(os.Args[2:])
+	case "why":
+		err = cmdWhy(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "egg-debug: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "egg-debug:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: egg-debug <replay|diff|dot|why> [flags]
+  replay -journal FILE [-graph N] [-to-iter K] [-verify] [-snapshot FILE] [-dot FILE]
+  diff   -journal FILE [-graph N] -from K -to K  |  egg-debug diff A.json B.json
+  dot    -journal FILE [-graph N] [-to-iter K] [-o FILE]
+  why    -journal FILE [-graph N] [-to-iter K] -class N`)
+}
+
+// replayFlags are the flags shared by every journal-consuming subcommand.
+type replayFlags struct {
+	journal string
+	graph   int
+	toIter  int
+}
+
+func (r *replayFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&r.journal, "journal", "", "event journal file (from egg-opt/egglog --journal)")
+	fs.IntVar(&r.graph, "graph", 0, "graph segment to replay (0-based; one per optimized function)")
+	fs.IntVar(&r.toIter, "to-iter", -1, "stop after this saturation iteration (-1 = replay everything)")
+}
+
+// load reads the journal and replays the selected segment.
+func (r *replayFlags) load(verify bool) ([]journal.Event, *egraph.EGraph, *egraph.ReplayResult, error) {
+	if r.journal == "" {
+		return nil, nil, nil, fmt.Errorf("-journal is required")
+	}
+	events, err := journal.ReadFile(r.journal)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	g, res, err := egraph.Replay(events, egraph.ReplayOptions{
+		ToIter: r.toIter,
+		Graph:  r.graph,
+		Verify: verify,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return events, g, res, nil
+}
+
+func cmdReplay(args []string) error {
+	fs := flag.NewFlagSet("egg-debug replay", flag.ExitOnError)
+	var rf replayFlags
+	rf.register(fs)
+	verify := fs.Bool("verify", false, "byte-compare every embedded snapshot against the replayed state")
+	snapOut := fs.String("snapshot", "", "write the replayed state's snapshot JSON to this file (- for stdout)")
+	dotOut := fs.String("dot", "", "write the replayed e-graph as Graphviz DOT to this file (- for stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	_, g, res, err := rf.load(*verify)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed graph %q: %d events, up to iteration %d\n", res.GraphName, res.Events, res.Iterations)
+	fmt.Printf("state: %d e-nodes, %d e-classes\n", g.NumNodes(), g.NumClasses())
+	if *verify {
+		fmt.Printf("snapshots verified: %d (bit-identical)\n", res.SnapshotsVerified)
+	}
+	if *snapOut != "" {
+		b, err := json.MarshalIndent(g.Snapshot(res.Iterations), "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := writeOut(*snapOut, append(b, '\n')); err != nil {
+			return err
+		}
+	}
+	if *dotOut != "" {
+		if err := writeDot(g, *dotOut); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func cmdDiff(args []string) error {
+	fs := flag.NewFlagSet("egg-debug diff", flag.ExitOnError)
+	var rf replayFlags
+	rf.register(fs)
+	from := fs.Int("from", 0, "earlier iteration")
+	to := fs.Int("to", -1, "later iteration (-1 = final state)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var a, b *egraph.Snapshot
+	if fs.NArg() == 2 {
+		// Two snapshot files (e.g. dumped by replay -snapshot).
+		var err error
+		if a, err = readSnapshot(fs.Arg(0)); err != nil {
+			return err
+		}
+		if b, err = readSnapshot(fs.Arg(1)); err != nil {
+			return err
+		}
+	} else if fs.NArg() == 0 {
+		if rf.journal == "" {
+			return fmt.Errorf("-journal is required (or pass two snapshot files)")
+		}
+		events, err := journal.ReadFile(rf.journal)
+		if err != nil {
+			return err
+		}
+		snapAt := func(iter int) (*egraph.Snapshot, error) {
+			g, res, err := egraph.Replay(events, egraph.ReplayOptions{ToIter: iter, Graph: rf.graph})
+			if err != nil {
+				return nil, err
+			}
+			return g.Snapshot(res.Iterations), nil
+		}
+		if a, err = snapAt(*from); err != nil {
+			return err
+		}
+		if b, err = snapAt(*to); err != nil {
+			return err
+		}
+	} else {
+		return fmt.Errorf("expected no positional arguments (journal mode) or exactly two snapshot files")
+	}
+	fmt.Print(egraph.DiffSnapshots(a, b).Format())
+	return nil
+}
+
+func cmdDot(args []string) error {
+	fs := flag.NewFlagSet("egg-debug dot", flag.ExitOnError)
+	var rf replayFlags
+	rf.register(fs)
+	out := fs.String("o", "-", "output file (- for stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	_, g, _, err := rf.load(false)
+	if err != nil {
+		return err
+	}
+	return writeDot(g, *out)
+}
+
+func cmdWhy(args []string) error {
+	fs := flag.NewFlagSet("egg-debug why", flag.ExitOnError)
+	var rf replayFlags
+	rf.register(fs)
+	class := fs.Int("class", -1, "e-class ID to explain")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *class < 0 {
+		return fmt.Errorf("-class is required")
+	}
+	events, g, res, err := rf.load(false)
+	if err != nil {
+		return err
+	}
+	snap := g.Snapshot(res.Iterations)
+	if *class >= len(snap.ClassMap) {
+		return fmt.Errorf("class #%d out of range (graph has %d allocated classes)", *class, len(snap.ClassMap))
+	}
+	root := snap.ClassMap[*class]
+	if root != uint32(*class) {
+		fmt.Printf("#%d is non-canonical; its class is #%d\n", *class, root)
+	}
+
+	fmt.Printf("class #%d at iteration %d:\n", root, res.Iterations)
+	members := 0
+	for _, f := range snap.Functions {
+		for _, r := range f.Rows {
+			if r.Class != "#"+strconv.FormatUint(uint64(root), 10) {
+				continue
+			}
+			members++
+			fmt.Printf("  node %s(%s) = %s", f.Name, joinArgs(r.Args), r.Out)
+			if r.Rule != "" {
+				fmt.Printf("   [introduced by rule %s at iteration %d]", r.Rule, r.Iter)
+			}
+			fmt.Println()
+		}
+	}
+	if members == 0 {
+		fmt.Println("  (no live member nodes)")
+	}
+
+	// Union events whose operands now canonicalize into this class: the
+	// merges that grew it. Scan the replayed segment's events (skipping
+	// rebuild-internal ones, which Rebuild regenerated).
+	inClass := func(id uint32) bool {
+		return int(id) < len(snap.ClassMap) && snap.ClassMap[id] == root
+	}
+	seg := -1
+	unions := 0
+	for i := range events {
+		e := &events[i]
+		if e.Kind == journal.KGraph {
+			seg++
+			if seg > rf.graph {
+				break
+			}
+			continue
+		}
+		if seg != rf.graph {
+			continue
+		}
+		if rf.toIter >= 0 && e.Iter > rf.toIter {
+			break
+		}
+		if e.Kind != journal.KUnion || !inClass(e.CanonA) || !inClass(e.CanonB) {
+			continue
+		}
+		unions++
+		tag := ""
+		if e.Rebuild {
+			tag = " during rebuild (congruence)"
+		}
+		fmt.Printf("  union #%d ~ #%d at iteration %d%s", e.CanonA, e.CanonB, e.Iter, tag)
+		if e.Just.Rule != "" {
+			fmt.Printf("   [rule %s]", e.Just.Rule)
+		} else if e.Just.Kind != "" {
+			fmt.Printf("   [%s]", e.Just.Kind)
+		}
+		fmt.Println()
+	}
+	if unions == 0 {
+		fmt.Println("  (no unions: the class is a single seed allocation)")
+	}
+	return nil
+}
+
+// readSnapshot loads a snapshot JSON file dumped by replay -snapshot.
+func readSnapshot(path string) (*egraph.Snapshot, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s egraph.Snapshot
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+func writeDot(g *egraph.EGraph, path string) error {
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return g.WriteDot(w)
+}
+
+func writeOut(path string, b []byte) error {
+	if path == "-" {
+		_, err := os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+func joinArgs(args []string) string {
+	out := ""
+	for i, a := range args {
+		if i > 0 {
+			out += ", "
+		}
+		out += a
+	}
+	return out
+}

@@ -17,6 +17,13 @@
 // trace-event file loadable in Perfetto or chrome://tracing with pipeline,
 // engine, and match-worker lanes; -cpuprofile/-memprofile write pprof
 // profiles.
+//
+// Time travel: -journal records every e-graph mutation as a JSONL event
+// log replayable with cmd/egg-debug, -snapshot-every N embeds a
+// process-independent e-graph snapshot every N iterations, and
+// -explain-extraction prints a per-class extraction-decision report
+// (chosen node, cost breakdown, rejected alternatives, creating rule) for
+// each rewritten operation.
 package main
 
 import (
@@ -32,6 +39,7 @@ import (
 	"dialegg/internal/egraph"
 	"dialegg/internal/mlir"
 	"dialegg/internal/obs"
+	"dialegg/internal/obs/journal"
 	"dialegg/internal/passes"
 	"dialegg/internal/rules"
 )
@@ -61,6 +69,10 @@ type options struct {
 	statsJSON string
 	traceFile string
 	explain   bool
+
+	journalFile   string
+	snapshotEvery int
+	explainExtr   bool
 }
 
 func main() {
@@ -83,6 +95,9 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.BoolVar(&opts.explain, "explain", false, "print a proof for every rewritten operation to stderr")
+	flag.StringVar(&opts.journalFile, "journal", "", "write an e-graph event journal (JSONL, replayable with egg-debug) to this file")
+	flag.IntVar(&opts.snapshotEvery, "snapshot-every", 0, "embed an e-graph snapshot in the journal every N saturation iterations (0 = none)")
+	flag.BoolVar(&opts.explainExtr, "explain-extraction", false, "print an extraction-decision report for every rewritten operation to stderr")
 	flag.Parse()
 	opts.eggFiles = eggFiles
 
@@ -112,9 +127,8 @@ func main() {
 	}
 }
 
-func run(opts options) error {
+func run(opts options) (err error) {
 	var src []byte
-	var err error
 	switch flag.NArg() {
 	case 0:
 		src, err = io.ReadAll(os.Stdin)
@@ -162,6 +176,18 @@ func run(opts options) error {
 	if opts.traceFile != "" {
 		rec = obs.NewRecorder()
 	}
+	var jw *journal.Writer
+	if opts.journalFile != "" {
+		jw, err = journal.Create(opts.journalFile)
+		if err != nil {
+			return fmt.Errorf("opening journal: %w", err)
+		}
+		defer func() {
+			if cerr := jw.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("closing journal: %w", cerr)
+			}
+		}()
+	}
 
 	if opts.greedy {
 		pm := passes.NewPassManager(reg).Add(passes.NewMatmulReassociate())
@@ -180,8 +206,11 @@ func run(opts options) error {
 				RuleMetrics: opts.stats || opts.statsJSON != "",
 				Recorder:    rec,
 			},
-			KeepEggProgram:  opts.emitEgg,
-			ExplainRewrites: opts.explain,
+			KeepEggProgram:    opts.emitEgg,
+			ExplainRewrites:   opts.explain,
+			Journal:           jw,
+			SnapshotEvery:     opts.snapshotEvery,
+			ExplainExtraction: opts.explainExtr,
 		})
 		rep, err := opt.OptimizeModule(m)
 		if err != nil {
@@ -194,6 +223,11 @@ func run(opts options) error {
 		if opts.explain {
 			for _, proof := range rep.RewriteExplanations {
 				fmt.Fprintln(os.Stderr, proof)
+			}
+		}
+		if opts.explainExtr {
+			for _, r := range rep.ExtractionReports {
+				fmt.Fprintln(os.Stderr, r)
 			}
 		}
 		if opts.stats {

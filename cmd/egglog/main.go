@@ -26,6 +26,7 @@ import (
 	"dialegg/internal/egglog"
 	"dialegg/internal/egraph"
 	"dialegg/internal/obs"
+	"dialegg/internal/obs/journal"
 	"dialegg/internal/sexp"
 )
 
@@ -38,6 +39,10 @@ type options struct {
 	proofs    bool
 	workers   int
 	naive     bool
+
+	journalFile   string
+	snapshotEvery int
+	explainExtr   bool
 }
 
 func main() {
@@ -49,6 +54,9 @@ func main() {
 	flag.BoolVar(&opts.proofs, "proofs", false, "record union provenance so (explain a b) works")
 	flag.IntVar(&opts.workers, "workers", 0, "match-phase worker pool size for (run ...) (0 = GOMAXPROCS, 1 = serial)")
 	flag.BoolVar(&opts.naive, "naive", false, "disable semi-naive (delta-frontier) matching for (run ...)")
+	flag.StringVar(&opts.journalFile, "journal", "", "write an e-graph event journal (JSONL, replayable with egg-debug) to this file")
+	flag.IntVar(&opts.snapshotEvery, "snapshot-every", 0, "embed an e-graph snapshot in the journal every N saturation iterations (0 = none)")
+	flag.BoolVar(&opts.explainExtr, "explain-extraction", false, "print an extraction-decision report for every (extract ...) to stderr")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
@@ -79,9 +87,8 @@ func main() {
 	}
 }
 
-func run(opts options) error {
+func run(opts options) (err error) {
 	var src []byte
-	var err error
 	switch flag.NArg() {
 	case 0:
 		src, err = io.ReadAll(os.Stdin)
@@ -102,9 +109,26 @@ func run(opts options) error {
 	if opts.proofs {
 		p.Graph().EnableExplanations()
 	}
+	if opts.journalFile != "" {
+		jw, jerr := journal.Create(opts.journalFile)
+		if jerr != nil {
+			return fmt.Errorf("opening journal: %w", jerr)
+		}
+		defer func() {
+			if cerr := jw.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("closing journal: %w", cerr)
+			}
+		}()
+		name := "stdin"
+		if flag.NArg() == 1 {
+			name = flag.Arg(0)
+		}
+		p.SetJournal(jw, name)
+	}
 	p.RunDefaults.Workers = opts.workers
 	p.RunDefaults.Naive = opts.naive
 	p.RunDefaults.RuleMetrics = opts.stats || opts.statsJSON != ""
+	p.RunDefaults.SnapshotEvery = opts.snapshotEvery
 	if opts.traceFile != "" {
 		p.RunDefaults.Recorder = obs.NewRecorder()
 	}
@@ -121,6 +145,14 @@ func run(opts options) error {
 				fmt.Printf("ran %d iterations; stop: %s; %d e-nodes, %d e-classes\n",
 					r.Report.Iterations, r.Report.Stop, r.Report.Nodes, r.Report.Classes)
 			case "extract":
+				if opts.explainExtr && len(n.Args()) > 0 {
+					rep, err := p.ExtractionDecisions(n.Args()[0], 3)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "(no extraction report: %v)\n", err)
+					} else {
+						fmt.Fprint(os.Stderr, rep.Format())
+					}
+				}
 				if len(r.Variants) > 1 {
 					for _, v := range r.Variants {
 						fmt.Printf("%s ; cost %d\n", v.Term, v.Cost)

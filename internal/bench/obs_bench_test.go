@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"io"
 	"testing"
 	"time"
 
@@ -10,6 +11,7 @@ import (
 	"dialegg/internal/egraph"
 	"dialegg/internal/mlir"
 	"dialegg/internal/obs"
+	"dialegg/internal/obs/journal"
 	"dialegg/internal/rules"
 )
 
@@ -68,6 +70,60 @@ func BenchmarkObservabilityOverhead(b *testing.B) {
 					satTime += rep.Saturation
 				}
 				b.ReportMetric(float64(satTime.Nanoseconds())/float64(b.N), "saturate-ns/op")
+			})
+		}
+	}
+}
+
+// BenchmarkJournalOverhead runs the chain-saturation workload with the
+// event journal off, on (events to io.Discard), and on with per-iteration
+// snapshots — the egg-opt configurations plain, --journal, and --journal
+// --snapshot-every 1. The disabled path is a nil-pointer check per
+// mutation, so "off" must be indistinguishable from the seed within
+// noise; the enabled ratios price full time-travel recording.
+func BenchmarkJournalOverhead(b *testing.B) {
+	modes := []struct {
+		name      string
+		journaled bool
+		snapshots int
+	}{
+		{"off", false, 0},
+		{"journal", true, 0},
+		{"journal+snapshots", true, 1},
+	}
+	for _, n := range []int{8, 16} {
+		dims := NMMDims(n)
+		src := MatmulChainSource(fmt.Sprintf("mm%d", n), dims)
+		for _, mode := range modes {
+			b.Run(fmt.Sprintf("chain%d/%s", n, mode.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					reg := dialects.NewRegistry()
+					m, err := mlir.ParseModule(src, reg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					opts := dialegg.Options{
+						RuleSources: rules.MatmulChain(),
+						RunConfig: egraph.RunConfig{
+							NodeLimit:  2_000_000,
+							MatchLimit: 2_000_000,
+							TimeLimit:  240 * time.Second,
+							IterLimit:  120,
+							Workers:    1,
+						},
+						SnapshotEvery: mode.snapshots,
+					}
+					if mode.journaled {
+						opts.Journal = journal.NewWriter(io.Discard)
+					}
+					rep, err := dialegg.NewOptimizer(opts).OptimizeModule(m)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !rep.Run.Saturated() {
+						b.Fatalf("chain %d did not saturate: %s", n, rep.Run.Stop)
+					}
+				}
 			})
 		}
 	}

@@ -61,6 +61,29 @@ func collectRewrites(origBlock *mlir.Block, blkTerm *sexp.Node, tr *Translation,
 	return out
 }
 
+// explainExtractions produces one extraction-decision report per rewritten
+// operation: why extraction chose the replacement term over the other
+// candidates in its e-class, with cost breakdowns and the creating rule of
+// every candidate node.
+func explainExtractions(p *egglog.Program, pairs []rewritePair, topK int) []string {
+	if topK == 0 {
+		topK = 3
+	}
+	var out []string
+	for _, pair := range pairs {
+		rep, err := p.ExtractionDecisions(pair.term, topK)
+		if err != nil {
+			out = append(out, fmt.Sprintf("%s: (no extraction report: %v)", pair.origOp.Name, err))
+			continue
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s rewritten to %s:\n", pair.origOp.Name, MLIROpName(pair.term.Head()))
+		b.WriteString(rep.Format())
+		out = append(out, b.String())
+	}
+	return out
+}
+
 // explainRewrites produces one rendered proof per rewritten operation: why
 // the original e-node is equal to the extracted replacement. p must have
 // been created with explanations enabled.

@@ -9,6 +9,7 @@ import (
 	"dialegg/internal/egraph"
 	"dialegg/internal/mlir"
 	"dialegg/internal/obs"
+	"dialegg/internal/obs/journal"
 	"dialegg/internal/sexp"
 )
 
@@ -39,6 +40,22 @@ type Options struct {
 	// attaches, per rewritten operation, a proof of why the original and
 	// replacement are equal (Report.RewriteExplanations).
 	ExplainRewrites bool
+	// Journal, when non-nil, records every e-graph mutation as an event
+	// journal; each optimized function opens its own graph segment labeled
+	// with the function name, replayable with egg-debug.
+	Journal *journal.Writer
+	// SnapshotEvery embeds a full e-graph snapshot in the journal after
+	// every N-th saturation iteration's rebuild (0 = none); only meaningful
+	// with Journal set.
+	SnapshotEvery int
+	// ExplainExtraction attaches, per rewritten operation, a report of the
+	// extraction decision for its replacement: the chosen node with its
+	// cost breakdown, rejected alternatives, and the creating rule of every
+	// node (Report.ExtractionReports).
+	ExplainExtraction bool
+	// ExtractionTopK bounds the rejected alternatives listed per e-class in
+	// extraction reports (0 = a default of 3, negative = all).
+	ExtractionTopK int
 }
 
 // Report records one optimization run, matching the paper's Table 2
@@ -80,6 +97,9 @@ type Report struct {
 	// RewriteExplanations holds one rendered proof per rewritten operation
 	// when Options.ExplainRewrites is set.
 	RewriteExplanations []string `json:"-"`
+	// ExtractionReports holds one rendered extraction-decision report per
+	// rewritten operation when Options.ExplainExtraction is set.
+	ExtractionReports []string `json:"-"`
 }
 
 // Total returns the end-to-end optimization time.
@@ -112,6 +132,7 @@ func (r *Report) merge(o *Report) {
 		r.EggProgram += o.EggProgram
 	}
 	r.RewriteExplanations = append(r.RewriteExplanations, o.RewriteExplanations...)
+	r.ExtractionReports = append(r.ExtractionReports, o.ExtractionReports...)
 }
 
 // Optimizer is the DialEgg driver: it owns the rule sources and applies
@@ -147,6 +168,12 @@ func (o *Optimizer) OptimizeFunc(f *mlir.Operation) (*mlir.Operation, *Report, e
 	// rule sources trace and report like the pipeline's own saturation.
 	p.RunDefaults.Recorder = rec
 	p.RunDefaults.RuleMetrics = o.opts.RunConfig.RuleMetrics
+	if o.opts.Journal.Enabled() {
+		// Attach before any declarations so the function's graph segment
+		// captures the prelude onward and is replayable from scratch.
+		p.SetJournal(o.opts.Journal, mlir.FuncName(f))
+		p.RunDefaults.SnapshotEvery = o.opts.SnapshotEvery
+	}
 	if o.opts.ExplainRewrites {
 		p.Graph().EnableExplanations()
 	}
@@ -236,9 +263,14 @@ func (o *Optimizer) OptimizeFunc(f *mlir.Operation) (*mlir.Operation, *Report, e
 	}
 	report.EggTotal += time.Since(startEgg)
 
-	if o.opts.ExplainRewrites {
+	if o.opts.ExplainRewrites || o.opts.ExplainExtraction {
 		pairs := collectRewrites(f.Regions[0].First(), term, tr, encs)
-		report.RewriteExplanations = explainRewrites(p, tr, pairs)
+		if o.opts.ExplainRewrites {
+			report.RewriteExplanations = explainRewrites(p, tr, pairs)
+		}
+		if o.opts.ExplainExtraction {
+			report.ExtractionReports = explainExtractions(p, pairs, o.opts.ExtractionTopK)
+		}
 	}
 
 	// Phase 3: Egglog -> MLIR.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dialegg/internal/egraph"
+	"dialegg/internal/obs/journal"
 	"dialegg/internal/sexp"
 )
 
@@ -58,6 +59,12 @@ func NewProgram() *Program {
 // Graph exposes the underlying e-graph (read-mostly; used by DialEgg and
 // tests).
 func (p *Program) Graph() *egraph.EGraph { return p.g }
+
+// SetJournal attaches an event journal to the session's e-graph, opening a
+// new graph segment labeled label. Attach before executing any commands so
+// the segment captures every declaration and insertion. A nil writer is a
+// no-op.
+func (p *Program) SetJournal(w *journal.Writer, label string) { p.g.SetJournal(w, label) }
 
 // Rules returns the compiled rules in declaration order.
 func (p *Program) Rules() []*egraph.Rule { return p.rules }
@@ -166,13 +173,15 @@ func (p *Program) declareFunction(args []*sexp.Node) error {
 			if i+1 >= len(args) {
 				return fmt.Errorf("egglog: :merge expects an expression")
 			}
+			// MergeName mirrors the choice symbolically so journals can
+			// reconstruct the merge function on replay.
 			switch args[i+1].Head() {
 			case "min":
-				f.Merge = egraph.MergeMinI64
+				f.Merge, f.MergeName = egraph.MergeMinI64, "min"
 			case "max":
-				f.Merge = egraph.MergeMaxI64
+				f.Merge, f.MergeName = egraph.MergeMaxI64, "max"
 			default:
-				f.Merge = egraph.MergeOverwrite
+				f.Merge, f.MergeName = egraph.MergeOverwrite, "overwrite"
 			}
 			i++
 		default:
@@ -413,6 +422,9 @@ func (p *Program) RunRules(cfg egraph.RunConfig) egraph.RunReport {
 	if cfg.Recorder == nil {
 		cfg.Recorder = p.RunDefaults.Recorder
 	}
+	if cfg.SnapshotEvery == 0 {
+		cfg.SnapshotEvery = p.RunDefaults.SnapshotEvery
+	}
 	p.LastRun = p.g.Run(p.rules, cfg)
 	return p.LastRun
 }
@@ -443,6 +455,19 @@ func (p *Program) ExtractValue(v egraph.Value) (*sexp.Node, int64, error) {
 	p.g.Rebuild()
 	ex := egraph.NewExtractor(p.g)
 	return ex.Extract(v)
+}
+
+// ExtractionDecisions evaluates expr and explains the extraction decision
+// for its class: per reachable class, the chosen node with its cost
+// breakdown and provenance, plus up to topK rejected alternatives.
+func (p *Program) ExtractionDecisions(expr *sexp.Node, topK int) (*egraph.ExtractionReport, error) {
+	v, err := p.EvalExpr(expr)
+	if err != nil {
+		return nil, err
+	}
+	p.g.Rebuild()
+	ex := egraph.NewExtractor(p.g)
+	return ex.Report(v, topK)
 }
 
 // renderRows renders up to limit live rows of a function's table as

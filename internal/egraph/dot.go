@@ -55,7 +55,14 @@ func (g *EGraph) WriteDot(w io.Writer) error {
 					label += " " + g.valueLabel(a)
 				}
 			}
-			fmt.Fprintf(w, "    %s [label=\"%s\"]\n", nodeName(n), escapeDotLabel(label))
+			lbl := escapeDotLabel(label)
+			// Provenance on a second label line for nodes made by rules;
+			// seed nodes (provRule 0) keep their plain label. The \n is a
+			// DOT escape, appended after escaping so it stays a line break.
+			if rule, iter := g.RowProvenance(n.fn, n.row); rule != "" {
+				lbl += `\n` + escapeDotLabel(fmt.Sprintf("%s @ iter %d", rule, iter))
+			}
+			fmt.Fprintf(w, "    %s [label=\"%s\"]\n", nodeName(n), lbl)
 		}
 		fmt.Fprintln(w, "  }")
 	}

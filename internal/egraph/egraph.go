@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"dialegg/internal/obs/journal"
 	"dialegg/internal/unionfind"
 )
 
@@ -46,6 +47,20 @@ type EGraph struct {
 	// during the current epoch form the delta the next match iteration
 	// scans. advanceFrontier closes an epoch.
 	epoch uint64
+	// journal, when non-nil, receives the mutation event stream (see
+	// SetJournal); inRebuild flags events emitted while Rebuild runs so
+	// replay can skip them (its own Rebuild regenerates them).
+	journal   *journal.Writer
+	inRebuild bool
+	// iterCur is the graph-lifetime saturation iteration counter: the
+	// runner increments it per iteration (monotonic across runs) and rows
+	// and unions are stamped with it. ruleCur is the provenance ID of the
+	// rule whose actions are currently being applied (0 outside apply),
+	// interned in provRules/ruleIDs.
+	iterCur   uint32
+	ruleCur   uint32
+	provRules []string
+	ruleIDs   map[string]uint32
 	// snapRoots, when non-nil, freezes canonicalization for the apply
 	// phase: canonFind resolves eq-sort values through this
 	// iteration-start root snapshot instead of the live union-find, so
@@ -94,6 +109,9 @@ func (g *EGraph) AddEqSort(name string) (*Sort, error) {
 	if _, dup := g.sorts[name]; dup {
 		return nil, fmt.Errorf("egraph: sort %q already declared", name)
 	}
+	if g.journal != nil {
+		g.jEmit(journal.Event{Kind: journal.KSort, Name: name})
+	}
 	return g.mustAddSort(&Sort{Name: name, Kind: KindEq}), nil
 }
 
@@ -141,6 +159,9 @@ func (g *EGraph) DeclareFunction(f *Function) (*Function, error) {
 	f.table.trackOrig = g.trackOrig
 	g.funcs = append(g.funcs, f)
 	g.funcsBy[f.Name] = f
+	if g.journal != nil {
+		g.jEmit(g.fnEvent(f))
+	}
 	return f, nil
 }
 
@@ -218,8 +239,13 @@ func (g *EGraph) beginFrozenApply() {
 	g.snapRoots = roots
 }
 
-// endFrozenApply restores live canonicalization (before Rebuild runs).
-func (g *EGraph) endFrozenApply() { g.snapRoots = nil }
+// endFrozenApply restores live canonicalization (before Rebuild runs) and
+// clears the ambient applying-rule provenance context — it is called on
+// every exit from the apply phase, including rule-error aborts.
+func (g *EGraph) endFrozenApply() {
+	g.snapRoots = nil
+	g.ruleCur = 0
+}
 
 // canonFind canonicalizes like Find, except while a frozen-apply
 // snapshot is installed, where eq-sort values resolve through the
@@ -311,11 +337,16 @@ func (g *EGraph) Insert(f *Function, args ...Value) (Value, error) {
 	f.table.insert(canon, out, g.epoch)
 	f.table.invalidateArgIndex()
 	g.effects++
+	g.stampProvenance(f)
 	if g.trackOrig && f.IsConstructor() {
 		if g.createdBy == nil {
 			g.createdBy = make(map[uint32]createdRef)
 		}
 		g.createdBy[uint32(out.Bits)] = createdRef{fn: f, row: len(f.table.rows) - 1}
+	}
+	if g.journal != nil {
+		o := g.encodeVal(out)
+		g.jEmit(journal.Event{Kind: journal.KInsert, Fn: f.Name, Args: g.encodeVals(canon), Out: &o})
 	}
 	return out, nil
 }
@@ -369,6 +400,10 @@ func (g *EGraph) Set(f *Function, args []Value, out Value) error {
 				return fmt.Errorf("egraph: merge %s: %w", f.Name, err)
 			}
 			f.table.rows[i].out = merged
+			if g.journal != nil {
+				o := g.encodeVal(merged)
+				g.jEmit(journal.Event{Kind: journal.KRowOut, Fn: f.Name, Args: g.encodeVals(canon), Out: &o})
+			}
 			return nil
 		}
 		merged, err := f.Merge(f.table.rows[i].out, out)
@@ -383,12 +418,21 @@ func (g *EGraph) Set(f *Function, args []Value, out Value) error {
 			f.table.touch(i, g.epoch)
 			f.table.invalidateArgIndex()
 			g.effects++
+			if g.journal != nil {
+				o := g.encodeVal(merged)
+				g.jEmit(journal.Event{Kind: journal.KMerge, Fn: f.Name, Args: g.encodeVals(canon), Out: &o})
+			}
 		}
 		return nil
 	}
 	f.table.insert(canon, out, g.epoch)
 	f.table.invalidateArgIndex()
 	g.effects++
+	g.stampProvenance(f)
+	if g.journal != nil {
+		o := g.encodeVal(out)
+		g.jEmit(journal.Event{Kind: journal.KSet, Fn: f.Name, Args: g.encodeVals(canon), Out: &o})
+	}
 	return nil
 }
 
@@ -439,6 +483,9 @@ func (g *EGraph) SetNodeCost(f *Function, args []Value, cost int64) error {
 	}
 	f.costTable[key] = cost
 	g.effects++
+	if g.journal != nil {
+		g.jEmit(journal.Event{Kind: journal.KCost, Fn: f.Name, Args: g.encodeVals(canon), Cost: cost})
+	}
 	return nil
 }
 
@@ -464,6 +511,16 @@ func (g *EGraph) UnionWithReason(a, b Value, j Justification) (Value, error) {
 	ra, rb := g.uf.Find(uint32(a.Bits)), g.uf.Find(uint32(b.Bits))
 	if ra == rb {
 		return Value{Sort: a.Sort, Bits: uint64(ra)}, nil
+	}
+	if j.Iter == 0 {
+		j.Iter = int(g.iterCur)
+	}
+	if g.journal != nil {
+		ea, eb := g.encodeVal(a), g.encodeVal(b)
+		g.jEmit(journal.Event{
+			Kind: journal.KUnion, A: &ea, B: &eb,
+			CanonA: ra, CanonB: rb, Just: g.encodeJust(j),
+		})
 	}
 	g.recordUnion(uint32(a.Bits), uint32(b.Bits), j)
 	root := g.uf.Union(ra, rb)
@@ -525,6 +582,10 @@ func (g *EGraph) ForEachRow(f *Function, fn func(args []Value, out Value) bool) 
 // every table and merges the outputs of rows that become identical, looping
 // until no further unions occur. It returns the number of passes performed.
 func (g *EGraph) Rebuild() int {
+	if g.journal != nil {
+		g.jEmit(journal.Event{Kind: journal.KRebuildBegin})
+		g.inRebuild = true
+	}
 	passes := 0
 	for {
 		passes++
@@ -548,6 +609,10 @@ func (g *EGraph) Rebuild() int {
 		f.table.invalidateArgIndex()
 	}
 	g.dirty = false
+	if g.journal != nil {
+		g.inRebuild = false
+		g.jEmit(journal.Event{Kind: journal.KRebuildEnd, Passes: passes})
+	}
 	return passes
 }
 

@@ -20,6 +20,9 @@ type Justification struct {
 	Fn    *Function
 	ArgsA []Value
 	ArgsB []Value
+	// Iter is the saturation iteration the union happened at (stamped by
+	// UnionWithReason from the graph-lifetime counter; 0 outside runs).
+	Iter int
 }
 
 func (j Justification) String() string {
@@ -242,11 +245,29 @@ func (g *EGraph) formatSteps(b *strings.Builder, ex *Extractor, steps []ExplainS
 	for _, st := range steps {
 		lt := g.termForID(ex, st.Left)
 		rt := g.termForID(ex, st.Right)
-		fmt.Fprintf(b, "%s%s = %s   [%s]\n", pad, lt, rt, st.Reason)
+		reason := st.Reason.String()
+		if st.Reason.Iter > 0 {
+			reason = fmt.Sprintf("%s @ iteration %d", reason, st.Reason.Iter)
+		}
+		fmt.Fprintf(b, "%s%s = %s   [%s]\n", pad, lt, rt, reason)
+		if note := g.classProvenanceNote(st.Right); note != "" {
+			fmt.Fprintf(b, "%s  (%s %s)\n", pad, g.termForID(ex, st.Right), note)
+		}
 		for _, sub := range st.Children {
 			g.formatSteps(b, ex, sub, indent+1)
 		}
 	}
+}
+
+// classProvenanceNote reports the provenance of the e-node whose insertion
+// created class element id ("introduced by rule X at iteration N"), or ""
+// when the element predates rule application or has no recorded creator.
+func (g *EGraph) classProvenanceNote(id uint32) string {
+	ref, ok := g.createdBy[id]
+	if !ok {
+		return ""
+	}
+	return g.provenanceNote(ref.fn, ref.row)
 }
 
 // termForID renders the term whose insertion created the e-class element:

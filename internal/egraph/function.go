@@ -55,6 +55,11 @@ type Function struct {
 	// Unextractable marks helper constructors that extraction must never
 	// choose (egglog's :unextractable).
 	Unextractable bool
+	// MergeName is the symbolic name of Merge ("", "min", "max",
+	// "overwrite") recorded in journals so replay can reconstruct the merge
+	// function; the egglog front end sets it from the :merge option. Leave
+	// "" for the default MergeMustEqual.
+	MergeName string
 
 	table *table
 	// costTable, lazily created, stores per-row cost overrides installed by
@@ -91,6 +96,11 @@ type row struct {
 	orig     []Value
 	stamp    uint64
 	outCanon uint64
+	// provRule and provIter record provenance: the rule (interned in the
+	// graph's provRules table; 0 = none) and saturation iteration that
+	// created the row. Stamped unconditionally — see EGraph.RowProvenance.
+	provRule uint32
+	provIter uint32
 }
 
 // argIdx maps a canonical value's bits to the (ascending) row slots

@@ -1,6 +1,7 @@
 package egraph
 
 import (
+	"encoding/json"
 	"fmt"
 	"runtime"
 	"sort"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"dialegg/internal/obs"
+	"dialegg/internal/obs/journal"
 )
 
 // RunConfig bounds a saturation run. Zero fields get defaults.
@@ -49,6 +51,11 @@ type RunConfig struct {
 	// via the recorder's WriteTrace. A nil Recorder records nothing and
 	// costs nothing.
 	Recorder *obs.Recorder
+	// SnapshotEvery, when > 0 and the graph has a journal attached, embeds
+	// a full state snapshot (EGraph.Snapshot) into the journal after every
+	// N-th iteration's rebuild. Snapshots are what `egg-debug replay
+	// -verify` byte-compares against and what the snapshot differ consumes.
+	SnapshotEvery int
 	// Naive disables semi-naive delta matching, re-matching every rule
 	// against the entire database each iteration. Semi-naive mode (the
 	// default) matches only against rows inserted or re-canonicalized
@@ -457,6 +464,9 @@ func (g *EGraph) Run(rules []*Rule, cfg RunConfig) RunReport {
 	start := time.Now()
 	report := RunReport{Stop: StopIterLimit, Workers: cfg.Workers}
 	rec := cfg.Recorder
+	if g.journal != nil {
+		g.jEmit(journal.Event{Kind: journal.KRun, Workers: cfg.Workers})
+	}
 
 	var rstats []RuleStats
 	if cfg.RuleMetrics {
@@ -490,6 +500,13 @@ func (g *EGraph) Run(rules []*Rule, cfg RunConfig) RunReport {
 			break
 		}
 		iterStart := time.Now()
+		// The graph-lifetime iteration counter stamps row provenance and
+		// union justifications; the journal's iter event marks the boundary
+		// replay stops at for --to-iter.
+		g.iterCur++
+		if g.journal != nil {
+			g.jEmit(journal.Event{Kind: journal.KIter})
+		}
 		// Matching relies on canonical rows (for safe concurrent reads and
 		// the per-argument indexes); restore congruence if a caller left
 		// the graph dirty. This is also what makes the match-phase reads a
@@ -584,6 +601,15 @@ func (g *EGraph) Run(rules []*Rule, cfg RunConfig) RunReport {
 		g.beginFrozenApply()
 		for ri := range pending {
 			rm := &pending[ri]
+			if len(rm.matches) > 0 {
+				// Provenance context: rows and unions made while applying
+				// this batch are stamped with the rule (endFrozenApply
+				// clears it on every exit from the phase).
+				g.ruleCur = g.ruleID(rm.rule.Name)
+				if g.journal != nil {
+					g.jEmit(journal.Event{Kind: journal.KFire, Name: rm.rule.Name, Matches: len(rm.matches)})
+				}
+			}
 			var ruleStart time.Time
 			if cfg.RuleMetrics && len(rm.matches) > 0 {
 				ruleStart = time.Now()
@@ -629,6 +655,13 @@ func (g *EGraph) Run(rules []*Rule, cfg RunConfig) RunReport {
 		it.RebuildUnions = g.unionCount - rebuildUnionsBefore
 		it.RebuildTime = time.Since(startRebuild)
 		report.RebuildTime += it.RebuildTime
+		// The graph is clean (just rebuilt), so the snapshot captures the
+		// exact state replay reaches when it stops after this iteration.
+		if g.journal != nil && cfg.SnapshotEvery > 0 && (iter+1)%cfg.SnapshotEvery == 0 {
+			if b, err := json.Marshal(g.Snapshot(int(g.iterCur))); err == nil {
+				g.jEmit(journal.Event{Kind: journal.KSnapshot, Snapshot: b})
+			}
+		}
 
 		report.Iterations = iter + 1
 		nodesAfter := g.NumNodes()
@@ -679,4 +712,7 @@ func (r *RunReport) finish(g *EGraph, start time.Time) {
 	r.Nodes = g.NumNodes()
 	r.Classes = g.NumClasses()
 	r.Elapsed = time.Since(start)
+	if g.journal != nil {
+		g.jEmit(journal.Event{Kind: journal.KRunEnd, Name: string(r.Stop)})
+	}
 }

@@ -1,0 +1,159 @@
+package egraph
+
+// Golden tests for the snapshot/diff layer and the provenance-bearing DOT
+// export, on a small e-graph saturated by a node-creating rule (so both
+// seed and rule-created rows appear). Regenerate the goldens with:
+//
+//	go test ./internal/egraph -run 'Snapshot|Dot' -update
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// saturatedExprGraph builds Add(Var "a", Num 2) and saturates it with
+// Add-commutativity: two iterations, one rule-created node, one union.
+func saturatedExprGraph(t *testing.T) *exprLang {
+	t.Helper()
+	l := newExprLang(t)
+	g := l.g
+	a, _ := g.Insert(l.Var, g.InternString("a"))
+	two, _ := g.Insert(l.Num, I64Value(g.I64, 2))
+	if _, err := g.Insert(l.Add, a, two); err != nil {
+		t.Fatal(err)
+	}
+	rep := g.Run([]*Rule{commRule(l.Add)}, RunConfig{IterLimit: 4, Workers: 1})
+	if !rep.Saturated() {
+		t.Fatalf("stop = %s, want saturated", rep.Stop)
+	}
+	return l
+}
+
+// checkGolden compares got against the named testdata file (writing it
+// under -update).
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch:\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestSnapshotGolden: the snapshot JSON export is stable — values rendered
+// by content, classes canonical, provenance stamped on the rule-created
+// row.
+func TestSnapshotGolden(t *testing.T) {
+	l := saturatedExprGraph(t)
+	b, err := json.MarshalIndent(l.g.Snapshot(l.g.Iteration()), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "snapshot_golden.json", append(b, '\n'))
+
+	// The rule-created row carries its provenance.
+	var snap Snapshot
+	if err := json.Unmarshal(b, &snap); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range snap.Functions {
+		for _, r := range f.Rows {
+			if r.Rule == "comm-Add" && r.Iter == 1 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("no row stamped with rule comm-Add at iteration 1")
+	}
+}
+
+// TestDotGolden: the DOT export is stable and labels rule-created nodes
+// with their provenance.
+func TestDotGolden(t *testing.T) {
+	l := saturatedExprGraph(t)
+	var buf bytes.Buffer
+	if err := l.g.WriteDot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `comm-Add @ iter 1`) {
+		t.Errorf("DOT output lacks provenance label:\n%s", buf.String())
+	}
+	checkGolden(t, "dot_golden.dot", buf.Bytes())
+}
+
+// TestSnapshotDiff: between the seed state and the saturated state, the
+// diff reports the flipped Add as added and no classes merged (commuting
+// an Add makes a new node in the same class).
+func TestSnapshotDiff(t *testing.T) {
+	l := newExprLang(t)
+	g := l.g
+	a, _ := g.Insert(l.Var, g.InternString("a"))
+	two, _ := g.Insert(l.Num, I64Value(g.I64, 2))
+	g.Insert(l.Add, a, two)
+	g.Rebuild()
+	before := g.Snapshot(0)
+
+	g.Run([]*Rule{commRule(l.Add)}, RunConfig{IterLimit: 4, Workers: 1})
+	after := g.Snapshot(g.Iteration())
+
+	d := DiffSnapshots(before, after)
+	if len(d.NodesKilled) != 0 {
+		t.Errorf("nodes killed = %v, want none", d.NodesKilled)
+	}
+	if len(d.NodesAdded) != 1 || !strings.HasPrefix(d.NodesAdded[0], "Add(") {
+		t.Errorf("nodes added = %v, want one flipped Add", d.NodesAdded)
+	}
+	if len(d.ClassesMerged) != 0 {
+		t.Errorf("classes merged = %v, want none", d.ClassesMerged)
+	}
+	if !strings.Contains(d.Format(), "nodes added: 1") {
+		t.Errorf("Format output unexpected:\n%s", d.Format())
+	}
+
+	// A diff against itself is empty.
+	if empty := DiffSnapshots(after, after); len(empty.NodesAdded)+len(empty.NodesKilled)+len(empty.ClassesMerged) != 0 {
+		t.Errorf("self-diff not empty: %+v", empty)
+	}
+}
+
+// TestSnapshotDiffMergedClasses: a union between two previously distinct
+// classes shows up as one merged group.
+func TestSnapshotDiffMergedClasses(t *testing.T) {
+	l := newExprLang(t)
+	g := l.g
+	a, _ := g.Insert(l.Num, I64Value(g.I64, 1))
+	b, _ := g.Insert(l.Num, I64Value(g.I64, 2))
+	g.Rebuild()
+	before := g.Snapshot(0)
+	if _, err := g.Union(a, b); err != nil {
+		t.Fatal(err)
+	}
+	g.Rebuild()
+	after := g.Snapshot(1)
+
+	d := DiffSnapshots(before, after)
+	if len(d.ClassesMerged) != 1 || len(d.ClassesMerged[0]) != 2 {
+		t.Fatalf("classes merged = %v, want one group of two", d.ClassesMerged)
+	}
+}

@@ -1,12 +1,14 @@
 // Command tracelint validates observability artifacts in CI: a Chrome
 // trace-event file (well-formed JSON, named events, monotonic complete
-// events, balanced B/E pairs) and optionally a stats-JSON file (schema
-// and cross-field invariants). It exits non-zero with a diagnostic when
-// either file is malformed, which is what `make trace-smoke` checks.
+// events, balanced B/E pairs), a stats-JSON file (schema and cross-field
+// invariants), and an e-graph event journal (known event kinds, iteration
+// monotonicity, balanced rebuild markers, canonical union operands). It
+// exits non-zero with a diagnostic when any file is malformed, which is
+// what `make trace-smoke` and `make debug-smoke` check.
 //
 // Usage:
 //
-//	tracelint -trace trace.json [-stats stats.json]
+//	tracelint -trace trace.json [-stats stats.json] [-journal run.jsonl]
 package main
 
 import (
@@ -17,15 +19,17 @@ import (
 
 	"dialegg/internal/egraph"
 	"dialegg/internal/obs"
+	"dialegg/internal/obs/journal"
 )
 
 func main() {
 	tracePath := flag.String("trace", "", "Chrome trace-event file to validate")
 	statsPath := flag.String("stats", "", "stats-JSON file to validate (egg-opt or egglog output)")
+	journalPath := flag.String("journal", "", "e-graph event journal (JSONL) to validate")
 	flag.Parse()
 
-	if *tracePath == "" && *statsPath == "" {
-		fmt.Fprintln(os.Stderr, "tracelint: nothing to do; pass -trace and/or -stats")
+	if *tracePath == "" && *statsPath == "" && *journalPath == "" {
+		fmt.Fprintln(os.Stderr, "tracelint: nothing to do; pass -trace, -stats, and/or -journal")
 		os.Exit(2)
 	}
 	if *tracePath != "" {
@@ -36,6 +40,11 @@ func main() {
 	if *statsPath != "" {
 		fatalIf(validateStats(*statsPath))
 		fmt.Printf("stats OK: %s\n", *statsPath)
+	}
+	if *journalPath != "" {
+		n, err := journal.LintFile(*journalPath)
+		fatalIf(err)
+		fmt.Printf("journal OK: %s, %d events\n", *journalPath, n)
 	}
 }
 
