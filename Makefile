@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet bench bench-smoke trace-smoke debug-smoke examples fig3 tables full clean
+.PHONY: all build test test-race vet fmt bench bench-smoke trace-smoke debug-smoke serve-smoke examples fig3 tables full clean
 
 all: build vet test test-race
 
@@ -12,6 +12,10 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Fail if any file is not gofmt-clean (same gate CI runs).
+fmt:
+	@files="$$(gofmt -l .)"; if [ -n "$$files" ]; then echo "$$files"; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -59,6 +63,12 @@ debug-smoke:
 		-snapshot snapshot.json -dot egraph.dot
 	$(GO) run ./cmd/egg-debug diff -journal journal.jsonl -from 1 -to -1
 	@echo "debug-smoke: OK (journal.jsonl, snapshot.json, egraph.dot, extraction.txt)"
+
+# Serving smoke: egg-serve's self-contained exercise — start on an
+# ephemeral port, optimize (cache miss), optimize again (cache hit),
+# verify one saturation run, drain gracefully.
+serve-smoke:
+	$(GO) run ./cmd/egg-serve -smoke
 
 examples:
 	$(GO) run ./examples/quickstart

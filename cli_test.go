@@ -1,17 +1,22 @@
 package dialegg_test
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 
 	"dialegg/internal/dialegg"
 	"dialegg/internal/obs"
+	"dialegg/internal/serve"
 )
 
 // buildTool compiles one of the cmd/ binaries into a temp dir.
@@ -251,6 +256,83 @@ func TestEgglogCLI(t *testing.T) {
 	}
 	if !strings.Contains(string(dot), "digraph egraph") || !strings.Contains(string(dot), "cluster_") {
 		t.Errorf("dot output malformed:\n%s", dot)
+	}
+}
+
+// TestEggServeCLI drives the egg-serve daemon: the self-contained -smoke
+// exercise, then a real daemon lifecycle — start on an ephemeral port,
+// optimize over HTTP using the server's default rule set, SIGTERM for a
+// graceful drain, and the final -stats-json snapshot.
+func TestEggServeCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short")
+	}
+	bin := buildTool(t, "egg-serve")
+
+	out, err := exec.Command(bin, "-smoke").CombinedOutput()
+	if err != nil {
+		t.Fatalf("egg-serve -smoke: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "serve-smoke: OK") {
+		t.Fatalf("smoke output unexpected:\n%s", out)
+	}
+
+	statsPath := filepath.Join(t.TempDir(), "serve_stats.json")
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-rules", "imgconv",
+		"-workers", "2", "-stats-json", statsPath)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting egg-serve: %v", err)
+	}
+	defer cmd.Process.Kill()
+
+	// The daemon announces its bound address on stderr.
+	sc := bufio.NewScanner(stderr)
+	var addr string
+	for sc.Scan() {
+		if i := strings.Index(sc.Text(), "listening on "); i >= 0 {
+			addr = sc.Text()[i+len("listening on "):]
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatal("egg-serve never announced its address")
+	}
+	go io.Copy(io.Discard, stderr)
+
+	// No rule_set in the request: the daemon's -rules default applies.
+	c := serve.NewClient("http://" + addr)
+	resp, source, err := c.Optimize(context.Background(), &serve.OptimizeRequest{MLIR: cliProgram})
+	if err != nil {
+		t.Fatalf("optimize via daemon: %v", err)
+	}
+	if !strings.Contains(resp.MLIR, "arith.shrsi") {
+		t.Errorf("daemon did not apply default rules:\n%s", resp.MLIR)
+	}
+	if source != "miss" {
+		t.Errorf("first request source = %q, want miss", source)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("egg-serve exit: %v", err)
+	}
+	data, err := os.ReadFile(statsPath)
+	if err != nil {
+		t.Fatalf("stats snapshot missing: %v", err)
+	}
+	var st serve.ServerStats
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatalf("stats snapshot does not parse: %v", err)
+	}
+	if st.Requests != 1 || st.Runs != 1 || !st.Draining {
+		t.Errorf("final stats = requests %d, runs %d, draining %v; want 1, 1, true",
+			st.Requests, st.Runs, st.Draining)
 	}
 }
 

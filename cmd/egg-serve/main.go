@@ -1,0 +1,189 @@
+// Command egg-serve is the optimization-as-a-service daemon: it exposes
+// the DialEgg pipeline over an HTTP JSON API (internal/serve), backed by
+// a bounded worker pool with queue backpressure, a content-addressed
+// result cache with singleflight deduplication, and per-request
+// cancellation threaded down to the saturation loop.
+//
+// Usage:
+//
+//	egg-serve -addr :8080 -rules imgconv
+//	curl -s localhost:8080/optimize -d '{"mlir":"...", "rule_set":"imgconv"}'
+//
+// Endpoints: POST /optimize (MLIR + rules in, optimized MLIR + stats
+// out), GET /healthz (503 while draining), GET /statz (service counters,
+// latency quantiles, cache accounting).
+//
+// SIGINT/SIGTERM trigger a graceful drain: new requests are rejected
+// with 503 while in-flight requests finish (bounded by -drain-timeout);
+// with -stats-json the final counters are written on the way out.
+//
+// -smoke runs a self-contained exercise against an ephemeral port —
+// start, optimize twice (miss then cache hit), verify, drain — and
+// exits; CI uses it as the serving smoke test.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dialegg/internal/obs"
+	"dialegg/internal/rules"
+	"dialegg/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	workers := flag.Int("workers", 0, "optimization worker pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "job queue capacity before 503 backpressure (0 = default 64)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "result cache budget in bytes (0 = default 64 MiB, negative disables)")
+	ruleSet := flag.String("rules", "", "default bundled rule set for requests that carry no rules: imgconv, vecnorm, poly, or matmul")
+	satWorkers := flag.Int("sat-workers", 0, "match-phase workers inside each job (0 = serial; the service parallelizes across requests)")
+	statsJSON := flag.String("stats-json", "", "write final service stats as JSON to this file on shutdown")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
+	smoke := flag.Bool("smoke", false, "run the self-contained smoke exercise on an ephemeral port and exit")
+	flag.Parse()
+
+	defaultRules, err := bundledRules(*ruleSet)
+	if err == nil {
+		cfg := serve.Config{
+			Workers:      *workers,
+			QueueSize:    *queue,
+			CacheBytes:   *cacheBytes,
+			DefaultRules: defaultRules,
+			SatWorkers:   *satWorkers,
+		}
+		if *smoke {
+			err = runSmoke(cfg, *drainTimeout)
+		} else {
+			err = run(cfg, *addr, *statsJSON, *drainTimeout)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "egg-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func bundledRules(name string) ([]string, error) {
+	switch name {
+	case "":
+		return nil, nil
+	case "imgconv":
+		return rules.ImgConv(), nil
+	case "vecnorm":
+		return rules.VecNorm(), nil
+	case "poly":
+		return rules.Poly(), nil
+	case "matmul":
+		return rules.MatmulChain(), nil
+	default:
+		return nil, fmt.Errorf("unknown -rules set %q", name)
+	}
+}
+
+// run serves until SIGINT/SIGTERM, then drains gracefully.
+func run(cfg serve.Config, addr, statsJSON string, drainTimeout time.Duration) error {
+	s := serve.New(cfg)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "egg-serve: listening on %s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "egg-serve: draining")
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	s.Drain(dctx)
+	if err := hs.Shutdown(dctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if statsJSON != "" {
+		if err := obs.WriteJSONFile(statsJSON, s.Stats()); err != nil {
+			return fmt.Errorf("writing stats: %w", err)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "egg-serve: stopped")
+	return nil
+}
+
+// smokeModule is the §7.2 division-by-power-of-two workload the smoke
+// exercise optimizes (inline so -smoke works from any directory).
+const smokeModule = `func.func @scale(%x: i64) -> i64 {
+  %c256 = arith.constant 256 : i64
+  %r = arith.divsi %x, %c256 : i64
+  func.return %r : i64
+}
+`
+
+// runSmoke starts the service on an ephemeral port and exercises the
+// full request surface once: health, a cold optimize (cache miss), a
+// warm identical optimize (cache hit), stats consistency, and drain.
+func runSmoke(cfg serve.Config, drainTimeout time.Duration) error {
+	s := serve.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	c := serve.NewClient(base)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	if err := c.Health(ctx); err != nil {
+		return fmt.Errorf("smoke: health: %w", err)
+	}
+	req := &serve.OptimizeRequest{MLIR: smokeModule, RuleSet: "imgconv"}
+	resp, source, err := c.Optimize(ctx, req)
+	if err != nil {
+		return fmt.Errorf("smoke: cold optimize: %w", err)
+	}
+	if !strings.Contains(resp.MLIR, "arith.shrsi") || strings.Contains(resp.MLIR, "arith.divsi") {
+		return fmt.Errorf("smoke: division not rewritten:\n%s", resp.MLIR)
+	}
+	if source != "miss" {
+		return fmt.Errorf("smoke: cold optimize source = %q, want miss", source)
+	}
+	if _, source, err = c.Optimize(ctx, req); err != nil {
+		return fmt.Errorf("smoke: warm optimize: %w", err)
+	}
+	if source != "hit" {
+		return fmt.Errorf("smoke: warm optimize source = %q, want hit", source)
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		return fmt.Errorf("smoke: stats: %w", err)
+	}
+	if st.Runs != 1 || st.Hits != 1 || st.Misses != 1 {
+		return fmt.Errorf("smoke: stats runs/hits/misses = %d/%d/%d, want 1/1/1", st.Runs, st.Hits, st.Misses)
+	}
+
+	dctx, dcancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer dcancel()
+	s.Drain(dctx)
+	if err := hs.Shutdown(dctx); err != nil {
+		return fmt.Errorf("smoke: shutdown: %w", err)
+	}
+	fmt.Println("serve-smoke: OK (miss -> hit, 1 saturation run)")
+	return nil
+}

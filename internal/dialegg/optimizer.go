@@ -1,6 +1,7 @@
 package dialegg
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -154,6 +155,26 @@ const preludeRuleCount = 2
 // OptimizeFunc runs the full DialEgg pipeline on one function and returns
 // the optimized replacement.
 func (o *Optimizer) OptimizeFunc(f *mlir.Operation) (*mlir.Operation, *Report, error) {
+	ctx := o.opts.RunConfig.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return o.OptimizeFuncCtx(ctx, f)
+}
+
+// OptimizeFuncCtx is OptimizeFunc with cancellation: ctx is threaded into
+// the saturation run (overriding Options.RunConfig.Ctx), so an abandoned
+// request stops consuming CPU mid-saturation instead of running to its
+// iteration or time limit. A canceled run returns a non-nil *Report whose
+// Run.Stop is egraph.StopCanceled alongside an error wrapping ctx's
+// error, so callers (the serve layer) can still account the partial work.
+func (o *Optimizer) OptimizeFuncCtx(ctx context.Context, f *mlir.Operation) (*mlir.Operation, *Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, &Report{Run: egraph.RunReport{Stop: egraph.StopCanceled}}, fmt.Errorf("dialegg: %w", err)
+	}
 	report := &Report{}
 	rec := o.opts.RunConfig.Recorder
 	if rec.Enabled() {
@@ -226,6 +247,7 @@ func (o *Optimizer) OptimizeFunc(f *mlir.Operation) (*mlir.Operation, *Report, e
 	}
 	startSat := time.Now()
 	cfg := o.opts.RunConfig
+	cfg.Ctx = ctx
 	if cfg.Workers == 0 {
 		cfg.Workers = o.opts.Workers
 	}
@@ -241,6 +263,13 @@ func (o *Optimizer) OptimizeFunc(f *mlir.Operation) (*mlir.Operation, *Report, e
 	report.SatMatch = run.MatchTime
 	report.SatApply = run.ApplyTime
 	report.SatRebuild = run.RebuildTime
+	if run.Stop == egraph.StopCanceled {
+		cerr := ctx.Err()
+		if cerr == nil {
+			cerr = context.Canceled
+		}
+		return nil, report, fmt.Errorf("dialegg: saturation canceled: %w", cerr)
+	}
 	if rec.Enabled() {
 		rec.Complete(obs.LanePipeline, "phase", "saturate", startSat, report.Saturation, map[string]int64{
 			"iterations": int64(run.Iterations),
@@ -289,14 +318,29 @@ func (o *Optimizer) OptimizeFunc(f *mlir.Operation) (*mlir.Operation, *Report, e
 // OptimizeModule optimizes every func.func in the module in place and
 // returns the aggregated report.
 func (o *Optimizer) OptimizeModule(m *mlir.Module) (*Report, error) {
+	ctx := o.opts.RunConfig.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return o.OptimizeModuleCtx(ctx, m)
+}
+
+// OptimizeModuleCtx is OptimizeModule with cancellation (see
+// OptimizeFuncCtx). On error the returned report still aggregates every
+// completed function plus the failing function's partial measurements, so
+// a canceled module run reports the StopCanceled stop reason.
+func (o *Optimizer) OptimizeModuleCtx(ctx context.Context, m *mlir.Module) (*Report, error) {
 	total := &Report{}
 	body := m.Body()
 	for i, op := range body.Ops {
 		if op.Name != "func.func" {
 			continue
 		}
-		nf, rep, err := o.OptimizeFunc(op)
+		nf, rep, err := o.OptimizeFuncCtx(ctx, op)
 		if err != nil {
+			if rep != nil {
+				total.merge(rep)
+			}
 			return total, fmt.Errorf("dialegg: @%s: %w", mlir.FuncName(op), err)
 		}
 		nf.ParentBlock = body

@@ -398,6 +398,9 @@ func (p *Program) Let(name string, expr *sexp.Node) (egraph.Value, error) {
 // RunRules saturates the graph with every registered rule. cfg zero-fields
 // fall back to RunDefaults, then engine defaults.
 func (p *Program) RunRules(cfg egraph.RunConfig) egraph.RunReport {
+	if cfg.Ctx == nil {
+		cfg.Ctx = p.RunDefaults.Ctx
+	}
 	if cfg.IterLimit == 0 {
 		cfg.IterLimit = p.RunDefaults.IterLimit
 	}

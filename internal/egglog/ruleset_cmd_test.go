@@ -1,0 +1,153 @@
+package egglog
+
+import (
+	"strings"
+	"testing"
+
+	"dialegg/internal/egraph"
+)
+
+// TestBirewriteRuleset: :ruleset on birewrite files BOTH directions under
+// the named ruleset — neither fires in a default run, both fire when the
+// ruleset is scheduled.
+func TestBirewriteRuleset(t *testing.T) {
+	p := NewProgram()
+	mustExec(t, p, exprPrelude+`
+(ruleset shift)
+(birewrite (Mul ?x (Num 2)) (Shl ?x (Num 1)) :ruleset shift)
+(let fwd (Mul (Var "a") (Num 2)))
+(let rev (Shl (Var "b") (Num 1)))
+(run 5)
+`)
+	for _, fact := range []string{
+		`(= fwd (Shl (Var "a") (Num 1)))`,
+		`(= rev (Mul (Var "b") (Num 2)))`,
+	} {
+		holds, err := p.Check(mustParseFacts(t, fact))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if holds {
+			t.Errorf("ruleset birewrite direction fired during default run: %s", fact)
+		}
+	}
+	mustExec(t, p, `
+(run-schedule (saturate shift))
+(check (= fwd (Shl (Var "a") (Num 1))))
+(check (= rev (Mul (Var "b") (Num 2))))
+`)
+}
+
+// TestRuleCommandRuleset: the general (rule ...) form honors :ruleset and
+// rejects an undeclared one, same as rewrite.
+func TestRuleCommandRuleset(t *testing.T) {
+	p := NewProgram()
+	mustExec(t, p, exprPrelude+`
+(ruleset fold)
+(rule ((= ?e (Add (Num ?x) (Num ?y)))) ((union ?e (Num (+ ?x ?y)))) :ruleset fold :name "fold-add")
+(let e (Add (Num 2) (Num 3)))
+(run 5)
+`)
+	holds, err := p.Check(mustParseFacts(t, `(= e (Num 5))`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if holds {
+		t.Error("ruleset rule fired during default run")
+	}
+	mustExec(t, p, `(run-schedule fold) (check (= e (Num 5)))`)
+
+	if _, err := p.ExecuteString(`(rule ((= ?e (Num ?x))) ((union ?e ?e)) :ruleset ghost)`); err == nil {
+		t.Error("rule accepted an undeclared ruleset")
+	}
+	if _, err := p.ExecuteString(`(rule ((= ?e (Num ?x))) ((union ?e ?e)) :bogus 1)`); err == nil {
+		t.Error("rule accepted an unknown option")
+	}
+}
+
+// TestRunScheduleDefaultRules: (run N) inside a schedule with no ruleset
+// name runs the default (unfiled) rules.
+func TestRunScheduleDefaultRules(t *testing.T) {
+	p := NewProgram()
+	mustExec(t, p, exprPrelude+`
+(rewrite (Mul ?x (Num 1)) ?x)
+(let e (Mul (Var "a") (Num 1)))
+(run-schedule (run 5))
+(check (= e (Var "a")))
+`)
+}
+
+// TestRunScheduleMalformed covers the schedule parser's error paths: an
+// unknown form, repeat without a count, a non-symbol non-int (run ...)
+// argument, and a non-symbol non-list item.
+func TestRunScheduleMalformed(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"unknown form", `(run-schedule (frobnicate fold))`, "unknown schedule form"},
+		{"repeat without count", `(run-schedule (repeat fold))`, "repeat expects a count"},
+		{"bad run argument", `(run-schedule (run "fold"))`, "invalid (run ...) argument"},
+		{"bad item kind", `(run-schedule "fold")`, "invalid schedule item"},
+		{"unknown bare symbol", `(run-schedule ghost)`, "unknown ruleset"},
+		{"ruleset without name", `(ruleset)`, "ruleset expects a name"},
+	}
+	for _, tc := range cases {
+		p := NewProgram()
+		mustExec(t, p, exprPrelude+`(ruleset fold)`)
+		_, err := p.ExecuteString(tc.src)
+		if err == nil {
+			t.Errorf("%s: accepted %s", tc.name, tc.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error = %v, want substring %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestRunScheduleSaturateIterLimit: a (saturate ...) over a ruleset that
+// grows the graph forever stops at the configured iteration cap instead
+// of spinning, and reports StopIterLimit.
+func TestRunScheduleSaturateIterLimit(t *testing.T) {
+	p := NewProgram()
+	mustExec(t, p, exprPrelude+`
+(ruleset grow)
+; a counter: every iteration creates a fresh (Num n+1) row, so the
+; ruleset never reaches a fixpoint on its own.
+(rewrite (Num ?x) (Num (+ ?x 1)) :ruleset grow)
+(let e (Num 0))
+`)
+	items := mustParseFacts(t, `(saturate grow)`)
+	rep, err := p.RunSchedule(items, egraph.RunConfig{IterLimit: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stop != egraph.StopIterLimit {
+		t.Errorf("stop = %s, want %s", rep.Stop, egraph.StopIterLimit)
+	}
+	if rep.Iterations < 3 {
+		t.Errorf("iterations = %d, want >= 3", rep.Iterations)
+	}
+}
+
+// TestRunScheduleRunIterBound: (run <ruleset> N) stops after N iterations
+// even when more rewrites remain.
+func TestRunScheduleRunIterBound(t *testing.T) {
+	p := NewProgram()
+	res := mustExec(t, p, exprPrelude+`
+(ruleset grow)
+(rewrite (Num ?x) (Num (+ ?x 1)) :ruleset grow)
+(let e (Num 0))
+(run-schedule (run grow 2))
+`)
+	last := res[len(res)-1]
+	if last.Command != "run-schedule" {
+		t.Fatalf("last result = %q, want run-schedule", last.Command)
+	}
+	if last.Report.Iterations != 2 {
+		t.Errorf("iterations = %d, want 2", last.Report.Iterations)
+	}
+	if last.Report.Stop != egraph.StopIterLimit {
+		t.Errorf("stop = %s, want %s", last.Report.Stop, egraph.StopIterLimit)
+	}
+}

@@ -69,6 +69,11 @@ func (p *Program) RunSchedule(items []*sexp.Node, cfg egraph.RunConfig) (egraph.
 			total.Err = rep.Err
 			break
 		}
+		// Cancellation ends the whole schedule, not just the item; later
+		// items would each pay one no-op run before noticing.
+		if rep.Stop == egraph.StopCanceled {
+			break
+		}
 	}
 	p.LastRun = total
 	return total, nil
@@ -132,6 +137,12 @@ func (p *Program) runScheduleItem(item *sexp.Node, cfg egraph.RunConfig) (egraph
 					total.Err = rep.Err
 					return total, nil
 				}
+				// A canceled sub-run changed nothing, which the fixpoint
+				// test below would misread as saturation — report the
+				// cancellation instead.
+				if rep.Stop == egraph.StopCanceled {
+					return total, nil
+				}
 			}
 			if p.g.UnionCount() == before && p.g.TotalRows() == rowsBefore {
 				total.Stop = egraph.StopSaturated
@@ -151,7 +162,7 @@ func (p *Program) runScheduleItem(item *sexp.Node, cfg egraph.RunConfig) (egraph
 				return total, err
 			}
 			total.Merge(rep)
-			if rep.Err != nil {
+			if rep.Err != nil || rep.Stop == egraph.StopCanceled {
 				total.Err = rep.Err
 				return total, nil
 			}
@@ -170,7 +181,7 @@ func (p *Program) runScheduleItem(item *sexp.Node, cfg egraph.RunConfig) (egraph
 					return total, err
 				}
 				total.Merge(rep)
-				if rep.Err != nil {
+				if rep.Err != nil || rep.Stop == egraph.StopCanceled {
 					total.Err = rep.Err
 					return total, nil
 				}

@@ -1,0 +1,157 @@
+package egraph
+
+// Tests for RunConfig.Ctx cancellation: the StopCanceled stop reason, the
+// bound on how late a cancellation can land, and the invariant that a
+// canceled run never leaves the graph dirty or applies a partial match
+// phase.
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// assocRule returns f(f(x, y), z) = r => union(r, f(x, f(y, z))); combined
+// with commRule it makes chain workloads grow for many iterations.
+func assocRule(f *Function) *Rule {
+	return &Rule{
+		Name: "assoc-" + f.Name,
+		Premises: []Premise{
+			&TablePremise{Fn: f, Args: []Atom{VarAtom(0), VarAtom(1)}, Out: VarAtom(2)},
+			&TablePremise{Fn: f, Args: []Atom{VarAtom(2), VarAtom(3)}, Out: VarAtom(4)},
+		},
+		Actions: []Action{
+			&UnionAction{
+				A: &ATerm{Kind: AVar, Slot: 4},
+				B: &ATerm{Kind: AApp, Fn: f, Args: []*ATerm{
+					{Kind: AVar, Slot: 0},
+					{Kind: AApp, Fn: f, Args: []*ATerm{{Kind: AVar, Slot: 1}, {Kind: AVar, Slot: 3}}},
+				}},
+			},
+		},
+		NumSlots: 5,
+	}
+}
+
+// addChain inserts Num(0) + Num(1) + ... + Num(n-1) left-associated.
+func addChain(t testing.TB, l *exprLang, n int) Value {
+	prev := l.num(t, 0)
+	for i := 1; i < n; i++ {
+		prev = l.app(t, l.Add, prev, l.num(t, int64(i)))
+	}
+	return prev
+}
+
+// TestRunCanceledBeforeStart: a pre-canceled context stops the run before
+// its first iteration.
+func TestRunCanceledBeforeStart(t *testing.T) {
+	l := newExprLang(t)
+	addChain(t, l, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep := l.g.Run([]*Rule{commRule(l.Add)}, RunConfig{Ctx: ctx, IterLimit: 10})
+	if rep.Stop != StopCanceled {
+		t.Fatalf("stop = %q, want %q", rep.Stop, StopCanceled)
+	}
+	if rep.Iterations != 0 {
+		t.Errorf("iterations = %d, want 0", rep.Iterations)
+	}
+	if !l.g.Clean() {
+		t.Error("canceled run left the graph dirty")
+	}
+}
+
+// TestRunCanceledMidRun: canceling while saturation is in flight stops the
+// run long before its iteration limit, reports StopCanceled, and leaves a
+// clean graph. The workload (comm + assoc over a 12-term chain) runs for
+// seconds uncanceled; the deadline asserts the cancellation actually cut
+// it short.
+func TestRunCanceledMidRun(t *testing.T) {
+	l := newExprLang(t)
+	addChain(t, l, 12)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	rep := l.g.Run([]*Rule{commRule(l.Add), assocRule(l.Add)}, RunConfig{
+		Ctx:       ctx,
+		IterLimit: 1000,
+		NodeLimit: 100_000_000,
+		TimeLimit: 10 * time.Minute,
+	})
+	elapsed := time.Since(start)
+	if rep.Stop != StopCanceled {
+		t.Fatalf("stop = %q after %v, want %q", rep.Stop, elapsed, StopCanceled)
+	}
+	if rep.Iterations >= 1000 {
+		t.Errorf("iterations = %d, want < limit", rep.Iterations)
+	}
+	if elapsed > 30*time.Second {
+		t.Errorf("run took %v after a 30ms cancel", elapsed)
+	}
+	if !l.g.Clean() {
+		t.Error("canceled run left the graph dirty")
+	}
+}
+
+// countdownCtx is a fake context whose Err turns non-nil after n checks —
+// a deterministic way to land the cancellation inside the match phase.
+type countdownCtx struct{ n int32 }
+
+func (c *countdownCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *countdownCtx) Done() <-chan struct{}       { return nil }
+func (c *countdownCtx) Value(any) any               { return nil }
+func (c *countdownCtx) Err() error {
+	if atomic.AddInt32(&c.n, -1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestRunCanceledDuringMatchDiscardsPhase: a cancellation that lands
+// mid-match must not apply that phase's (possibly incomplete) matches —
+// the union count is exactly what the completed iterations produced.
+func TestRunCanceledDuringMatchDiscardsPhase(t *testing.T) {
+	build := func() *exprLang {
+		l := newExprLangQuiet()
+		g := l.g
+		prev, _ := g.Insert(l.Num, I64Value(g.I64, 0))
+		for i := 1; i < 10; i++ {
+			leaf, _ := g.Insert(l.Num, I64Value(g.I64, int64(i)))
+			prev, _ = g.Insert(l.Add, prev, leaf)
+		}
+		return l
+	}
+
+	// Reference: one full uncanceled iteration (serial, naive).
+	ref := build()
+	ref.g.Run([]*Rule{commRule(ref.Add)}, RunConfig{IterLimit: 1, Workers: 1, Naive: true})
+	wantUnions := ref.g.UnionCount()
+
+	// Serial naive run with one rule checks Ctx three times per
+	// iteration: loop top, the single match task, and post-match. n=4
+	// lets iteration 1 complete and lands the cancellation in iteration
+	// 2's match task, so its phase must be discarded.
+	l := build()
+	rep := l.g.Run([]*Rule{commRule(l.Add)}, RunConfig{
+		Ctx:       &countdownCtx{n: 4},
+		IterLimit: 10,
+		Workers:   1,
+		Naive:     true,
+	})
+	if rep.Stop != StopCanceled {
+		t.Fatalf("stop = %q, want %q", rep.Stop, StopCanceled)
+	}
+	if rep.Iterations != 1 {
+		t.Errorf("iterations = %d, want 1", rep.Iterations)
+	}
+	if got := l.g.UnionCount(); got != wantUnions {
+		t.Errorf("unions = %d, want %d (canceled match phase must not apply)", got, wantUnions)
+	}
+	if !l.g.Clean() {
+		t.Error("canceled run left the graph dirty")
+	}
+}

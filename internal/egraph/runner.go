@@ -1,6 +1,7 @@
 package egraph
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"runtime"
@@ -14,6 +15,15 @@ import (
 
 // RunConfig bounds a saturation run. Zero fields get defaults.
 type RunConfig struct {
+	// Ctx, when non-nil, makes the run cancelable: the iteration loop
+	// checks it alongside NodeLimit/TimeLimit, and the match phase
+	// abandons queued tasks once it is done, so a run stops within one
+	// match task of cancellation rather than at the next wall-clock
+	// check. A canceled run reports StopCanceled; the e-graph is left
+	// clean (canceled runs stop at an iteration boundary or skip the
+	// apply phase entirely, never mid-apply). A nil Ctx means the run
+	// cannot be canceled (context.Background semantics).
+	Ctx context.Context
 	// IterLimit caps saturation iterations (default 30).
 	IterLimit int
 	// NodeLimit stops the run when the e-graph exceeds this many e-nodes
@@ -70,7 +80,16 @@ type RunConfig struct {
 	Naive bool
 }
 
+// WithDefaults returns the config with every zero field replaced by its
+// engine default. Exported so layers that key on a config (the memo
+// cache) hash the values the engine will actually run with, making
+// explicit-default and zero-field configs cache-equivalent.
+func (c RunConfig) WithDefaults() RunConfig { return c.withDefaults() }
+
 func (c RunConfig) withDefaults() RunConfig {
+	if c.Ctx == nil {
+		c.Ctx = context.Background()
+	}
 	if c.IterLimit == 0 {
 		c.IterLimit = 30
 	}
@@ -103,6 +122,7 @@ const (
 	StopTimeLimit  StopReason = "time limit"
 	StopRuleError  StopReason = "rule error"
 	StopMatchLimit StopReason = "match limit"
+	StopCanceled   StopReason = "canceled"
 )
 
 // RunReport summarizes a saturation run. Duration fields marshal as
@@ -336,6 +356,14 @@ func (g *EGraph) collectMatches(rules []*Rule, cfg RunConfig, delta bool, minSta
 	runTask := func(worker, i int) {
 		t := &tasks[i]
 		t.worker = worker
+		// A canceled run abandons queued tasks: the runner discards the
+		// phase's matches anyway (it checks Ctx before applying), so
+		// skipping bounds cancellation latency at one task, not one
+		// iteration. Completed runs never skip — ctx errors are sticky —
+		// so determinism for uncanceled runs is unaffected.
+		if cfg.Ctx.Err() != nil {
+			return
+		}
 		if timeTasks {
 			t.began = time.Now()
 		}
@@ -495,6 +523,10 @@ func (g *EGraph) Run(rules []*Rule, cfg RunConfig) RunReport {
 	}
 
 	for iter := 0; iter < cfg.IterLimit; iter++ {
+		if cfg.Ctx.Err() != nil {
+			report.Stop = StopCanceled
+			break
+		}
 		if time.Since(start) > cfg.TimeLimit {
 			report.Stop = StopTimeLimit
 			break
@@ -583,6 +615,15 @@ func (g *EGraph) Run(rules []*Rule, cfg RunConfig) RunReport {
 			report.Rules = rstats
 			report.finish(g, start)
 			return report
+		}
+		// A cancellation during the match phase may have skipped tasks, so
+		// the merged buffers can be incomplete; applying them would make
+		// the result depend on cancellation timing. Discard the phase and
+		// stop — the graph is still clean (matching only reads).
+		if cfg.Ctx.Err() != nil {
+			report.Stop = StopCanceled
+			report.PerIter = append(report.PerIter, it)
+			break
 		}
 		truncated := false
 		for _, rm := range pending {

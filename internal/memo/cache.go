@@ -1,0 +1,128 @@
+package memo
+
+import (
+	"container/list"
+	"sync"
+)
+
+// entryOverhead approximates the per-entry bookkeeping bytes (list
+// element, map bucket share, header) charged against the cache budget on
+// top of the key and value lengths, so a cache of many tiny entries does
+// not blow past its configured size.
+const entryOverhead = 128
+
+// CacheStats is a point-in-time snapshot of cache counters.
+type CacheStats struct {
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+	MaxBytes  int64  `json:"max_bytes"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Rejected  uint64 `json:"rejected"`
+}
+
+// Cache is a byte-budgeted LRU mapping content-address keys to immutable
+// result blobs. All methods are safe for concurrent use. Values are
+// returned without copying — callers must treat them as read-only, which
+// the serving layer does (it writes them straight to the response).
+type Cache struct {
+	mu        sync.Mutex
+	maxBytes  int64
+	bytes     int64
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+	rejected  uint64
+}
+
+type centry struct {
+	key string
+	val []byte
+}
+
+func (e *centry) size() int64 { return int64(len(e.key)+len(e.val)) + entryOverhead }
+
+// NewCache returns a cache bounded to maxBytes of accounted size
+// (key + value + fixed per-entry overhead). maxBytes <= 0 disables
+// storage: Get always misses and Add is a no-op, so a cacheless server is
+// just a zero-budget cache.
+func NewCache(maxBytes int64) *Cache {
+	return &Cache{
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Get returns the value stored under key, marking it most recently used.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*centry).val, true
+}
+
+// Add stores val under key, evicting least-recently-used entries until
+// the budget holds. An entry larger than the whole budget is rejected
+// rather than evicting everything for a value that still will not fit.
+// Re-adding an existing key replaces its value.
+func (c *Cache) Add(key string, val []byte) {
+	e := &centry{key: key, val: val}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e.size() > c.maxBytes {
+		c.rejected++
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		old := el.Value.(*centry)
+		c.bytes += e.size() - old.size()
+		el.Value = e
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(e)
+		c.bytes += e.size()
+	}
+	for c.bytes > c.maxBytes {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(*centry)
+		c.ll.Remove(back)
+		delete(c.items, victim.key)
+		c.bytes -= victim.size()
+		c.evictions++
+	}
+}
+
+// Len returns the number of stored entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   c.ll.Len(),
+		Bytes:     c.bytes,
+		MaxBytes:  c.maxBytes,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Rejected:  c.rejected,
+	}
+}

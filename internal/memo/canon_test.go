@@ -1,0 +1,139 @@
+package memo
+
+// Cache-key stability: a key must survive a print → parse round trip, or
+// a client resubmitting the server's own output would miss the cache.
+// These tests pin the property over every real module in the repo.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dialegg/internal/dialects"
+	"dialegg/internal/egraph"
+	"dialegg/internal/mlir"
+)
+
+// moduleCorpus returns every .mlir module checked into examples/ and the
+// dialegg golden testdata.
+func moduleCorpus(t *testing.T) []string {
+	t.Helper()
+	var files []string
+	for _, pattern := range []string{
+		"../../examples/*.mlir",
+		"../dialegg/testdata/*.mlir",
+	} {
+		matches, err := filepath.Glob(pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, matches...)
+	}
+	if len(files) == 0 {
+		t.Fatal("no .mlir modules found; corpus globs are stale")
+	}
+	return files
+}
+
+// TestCanonicalPrintFixpoint: for every module m in the corpus,
+// parse(print(m)) prints byte-identically to print(m) — the canonical
+// form is a fixed point of the parse/print pair, so Key(canonical) is
+// stable no matter how many round trips a module has been through.
+func TestCanonicalPrintFixpoint(t *testing.T) {
+	for _, file := range moduleCorpus(t) {
+		t.Run(filepath.Base(filepath.Dir(file))+"/"+filepath.Base(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			canon, err := CanonicalizeMLIR(string(src))
+			if err != nil {
+				t.Fatalf("canonicalize: %v", err)
+			}
+			again, err := CanonicalizeMLIR(canon)
+			if err != nil {
+				t.Fatalf("re-parse of canonical form failed: %v\ncanonical:\n%s", err, canon)
+			}
+			if canon != again {
+				t.Errorf("canonical print is not a fixed point\nfirst:\n%s\nsecond:\n%s", canon, again)
+			}
+			cfg := egraph.RunConfig{}
+			if k1, k2 := Key(canon, nil, cfg), Key(again, nil, cfg); k1 != k2 {
+				t.Errorf("cache key drifted across round trip: %s != %s", k1, k2)
+			}
+		})
+	}
+}
+
+// TestCanonicalizeErasesSurfaceDrift: comments, whitespace, and SSA value
+// name spelling are non-semantic and must not fragment the cache.
+func TestCanonicalizeErasesSurfaceDrift(t *testing.T) {
+	a := `// a comment
+func.func @f(%x: i64) -> i64 {
+  %c = arith.constant 8 : i64
+  %r = arith.muli %x, %c : i64
+  func.return %r : i64
+}
+`
+	b := `func.func @f(%arg: i64) -> i64 {
+      %cst   = arith.constant 8 : i64
+   %out = arith.muli %arg,   %cst : i64
+  func.return %out : i64
+}`
+	ca, err := CanonicalizeMLIR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := CanonicalizeMLIR(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca != cb {
+		t.Errorf("surface drift survived canonicalization:\n%q\nvs\n%q", ca, cb)
+	}
+}
+
+// TestCanonicalizeKeepsSemanticDifference: structurally different modules
+// must canonicalize differently.
+func TestCanonicalizeKeepsSemanticDifference(t *testing.T) {
+	mul := "func.func @f(%x: i64) -> i64 {\n  %c = arith.constant 8 : i64\n  %r = arith.muli %x, %c : i64\n  func.return %r : i64\n}\n"
+	add := "func.func @f(%x: i64) -> i64 {\n  %c = arith.constant 8 : i64\n  %r = arith.addi %x, %c : i64\n  func.return %r : i64\n}\n"
+	cm, err := CanonicalizeMLIR(mul)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, err := CanonicalizeMLIR(add)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm == ca {
+		t.Error("semantically different modules canonicalized identically")
+	}
+}
+
+// TestRegistryParsePrintAgreement: CanonicalizeMLIR must accept its own
+// output for every registered example even when printed through a fresh
+// registry (no hidden per-registry state in the canonical form).
+func TestRegistryParsePrintAgreement(t *testing.T) {
+	for _, file := range moduleCorpus(t) {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg1 := dialects.NewRegistry()
+		m1, err := mlir.ParseModule(string(src), reg1)
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		p1 := mlir.PrintModule(m1, reg1)
+
+		reg2 := dialects.NewRegistry()
+		m2, err := mlir.ParseModule(p1, reg2)
+		if err != nil {
+			t.Fatalf("%s: fresh-registry re-parse: %v", file, err)
+		}
+		if p2 := mlir.PrintModule(m2, reg2); p1 != p2 {
+			t.Errorf("%s: fresh-registry print differs", file)
+		}
+	}
+}

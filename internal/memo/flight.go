@@ -1,0 +1,102 @@
+package memo
+
+import (
+	"context"
+	"sync"
+)
+
+// flightCall is one in-flight computation shared by every waiter that
+// asked for the same key while it ran.
+type flightCall struct {
+	cancel  context.CancelFunc
+	waiters int
+	done    chan struct{}
+	val     []byte
+	err     error
+}
+
+// Group deduplicates concurrent computations by key (singleflight): while
+// a computation for a key is in flight, further Do calls for that key
+// wait for it instead of starting their own. Unlike the classic
+// singleflight, the computation's lifetime is refcounted against its
+// waiters: the function runs under a context that is canceled only when
+// every waiter has abandoned it, so N requests run saturation once, and
+// zero remaining requests stop it mid-run (the runner's StopCanceled
+// path) instead of burning a worker on an answer nobody wants.
+type Group struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+// NewGroup returns an empty group.
+func NewGroup() *Group {
+	return &Group{calls: make(map[string]*flightCall)}
+}
+
+// Inflight returns the number of distinct keys currently being computed.
+func (g *Group) Inflight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.calls)
+}
+
+// Do returns the result of fn for key, coalescing concurrent calls:
+// exactly one fn runs per key at a time, on its own goroutine, under a
+// context detached from any single caller. shared reports whether the
+// result came from a flight another caller started. If ctx is done before
+// the flight completes, Do returns ctx.Err() for this caller only; the
+// flight keeps running for the remaining waiters and is canceled when the
+// last one leaves. A flight abandoned by all waiters is removed from the
+// group immediately, so a newcomer starts fresh rather than joining a
+// doomed computation.
+func (g *Group) Do(ctx context.Context, key string, fn func(ctx context.Context) ([]byte, error)) (val []byte, shared bool, err error) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		c.waiters++
+		g.mu.Unlock()
+		return g.wait(ctx, key, c, true)
+	}
+	fctx, cancel := context.WithCancel(context.Background())
+	c := &flightCall{cancel: cancel, waiters: 1, done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	go func() {
+		v, ferr := fn(fctx)
+		g.mu.Lock()
+		c.val, c.err = v, ferr
+		// Guard the delete: an abandoned flight was already removed and
+		// possibly replaced by a newcomer's fresh call.
+		if g.calls[key] == c {
+			delete(g.calls, key)
+		}
+		g.mu.Unlock()
+		close(c.done)
+		cancel()
+	}()
+	return g.wait(ctx, key, c, false)
+}
+
+func (g *Group) wait(ctx context.Context, key string, c *flightCall, shared bool) ([]byte, bool, error) {
+	var ctxDone <-chan struct{}
+	if ctx != nil {
+		ctxDone = ctx.Done()
+	}
+	select {
+	case <-c.done:
+		return c.val, shared, c.err
+	case <-ctxDone:
+		g.mu.Lock()
+		c.waiters--
+		if c.waiters == 0 {
+			// Last waiter out: stop the computation and detach the call so
+			// later requests do not join a canceled flight.
+			c.cancel()
+			if g.calls[key] == c {
+				delete(g.calls, key)
+			}
+		}
+		g.mu.Unlock()
+		return nil, shared, ctx.Err()
+	}
+}

@@ -1,0 +1,92 @@
+// Package memo is the optimization-result memoization layer of the
+// serving subsystem: a content-addressed cache keyed by a canonical hash
+// of (parsed module, rule sources, run config), plus a singleflight group
+// that deduplicates concurrent identical computations with refcounted
+// cancellation.
+//
+// The design follows the amortization argument of Caviar and egg: real
+// deployments see many identical or near-identical (program, rules)
+// queries, and equality saturation is expensive enough that memoizing at
+// the service boundary — not inside the e-graph — is where the win is.
+// Content addressing makes the cache safe by construction: a key is a
+// SHA-256 over the canonically printed module, every rule source, and the
+// semantically relevant run-config bounds, so two requests share an entry
+// exactly when the optimizer would be run with identical inputs.
+package memo
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+
+	"dialegg/internal/dialects"
+	"dialegg/internal/egraph"
+	"dialegg/internal/mlir"
+)
+
+// CanonicalizeMLIR parses src and reprints it in the canonical form keys
+// are derived from. Canonicalization erases non-semantic drift —
+// whitespace, comments, SSA-name spelling where the printer renames — so
+// textually different but structurally identical modules hash alike. The
+// canonical form is a fixed point: parse(print(m)) prints identically
+// (enforced by TestCanonicalPrintFixpoint), which is what makes keys
+// stable across client/server round trips.
+func CanonicalizeMLIR(src string) (string, error) {
+	reg := dialects.NewRegistry()
+	m, err := mlir.ParseModule(src, reg)
+	if err != nil {
+		return "", err
+	}
+	return mlir.PrintModuleCanonical(m, reg), nil
+}
+
+// hashString writes a length-prefixed, tagged string into h. The prefix
+// makes the encoding injective: no concatenation of sections can collide
+// with a different split of the same bytes.
+func hashString(h hash.Hash, tag string, s string) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(tag)))
+	h.Write(buf[:])
+	h.Write([]byte(tag))
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(s)))
+	h.Write(buf[:])
+	h.Write([]byte(s))
+}
+
+func hashInt(h hash.Hash, tag string, v int64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(tag)))
+	h.Write(buf[:])
+	h.Write([]byte(tag))
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	h.Write(buf[:])
+}
+
+// Key returns the content address of one optimization request: a hex
+// SHA-256 over the canonical module text, each rule source in order, and
+// the run-config fields that can change the result (iteration, node,
+// match, and time limits, and naive mode). Fields that are proven not to
+// affect the output — Workers, MatchShards, and every observability knob
+// — are deliberately excluded, so a traced run and a production run share
+// cache entries. The config is defaulted first, making zero-valued and
+// explicit-default configs cache-equivalent.
+func Key(canonicalMLIR string, ruleSources []string, cfg egraph.RunConfig) string {
+	cfg = cfg.WithDefaults()
+	h := sha256.New()
+	hashString(h, "mlir", canonicalMLIR)
+	hashInt(h, "nrules", int64(len(ruleSources)))
+	for _, r := range ruleSources {
+		hashString(h, "rule", r)
+	}
+	hashInt(h, "iter", int64(cfg.IterLimit))
+	hashInt(h, "node", int64(cfg.NodeLimit))
+	hashInt(h, "match", int64(cfg.MatchLimit))
+	hashInt(h, "time", int64(cfg.TimeLimit))
+	naive := int64(0)
+	if cfg.Naive {
+		naive = 1
+	}
+	hashInt(h, "naive", naive)
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -14,11 +14,36 @@ type PrintState struct {
 	taken  map[string]bool
 	nextID int
 	indent int
+	// anonymize drops user-chosen SSA value names and numbers every value
+	// sequentially in print order (%0, %1, ...). PrintModuleCanonical sets
+	// it so two modules that differ only in name spelling print
+	// identically.
+	anonymize bool
 }
 
 // PrintModule renders the module in MLIR pretty syntax.
 func PrintModule(m *Module, reg *Registry) string {
 	ps := newPrintState(reg)
+	ps.Write("module {\n")
+	ps.indent++
+	for _, op := range m.Body().Ops {
+		ps.PrintOp(op)
+	}
+	ps.indent--
+	ps.Write("}\n")
+	return ps.b.String()
+}
+
+// PrintModuleCanonical renders the module in canonical form: the same
+// pretty syntax as PrintModule, but with every SSA value renamed to its
+// sequential print-order number, so modules differing only in value-name
+// spelling render byte-identically. This is the form the serving layer's
+// content-addressed cache keys are derived from; it is a fixed point of
+// parse/print (re-parsing and re-printing canonical output reproduces it
+// exactly).
+func PrintModuleCanonical(m *Module, reg *Registry) string {
+	ps := newPrintState(reg)
+	ps.anonymize = true
 	ps.Write("module {\n")
 	ps.indent++
 	for _, op := range m.Body().Ops {
@@ -62,6 +87,9 @@ func (ps *PrintState) ValueName(v *Value) string {
 		return "%" + n
 	}
 	name := v.Name
+	if ps.anonymize {
+		name = ""
+	}
 	if name == "" || ps.taken[name] {
 		for {
 			name = strconv.Itoa(ps.nextID)

@@ -31,7 +31,11 @@ import (
 const (
 	LanePipeline = 0
 	LaneEngine   = 1
-	LaneWorker   = 100
+	// LaneServe carries the serving layer's per-request spans (egg-serve):
+	// one span per HTTP optimize request plus one per executed job, so a
+	// trace shows queueing and cache behavior above the pipeline lanes.
+	LaneServe  = 2
+	LaneWorker = 100
 )
 
 // Event is one recorded span in trace-event terms: a complete ("X") event

@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+)
+
+func newBenchServer(b *testing.B) (*Server, *Client) {
+	b.Helper()
+	s := New(Config{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	b.Cleanup(func() {
+		s.Drain(context.Background())
+		ts.Close()
+	})
+	return s, NewClient(ts.URL)
+}
+
+// BenchmarkServeCacheHit measures the warm path: the result is already
+// cached, so each request costs canonicalization + key derivation + a
+// cache read — no saturation. Compare against BenchmarkServeCacheMiss to
+// see what the content-addressed cache amortizes away.
+func BenchmarkServeCacheHit(b *testing.B) {
+	_, c := newBenchServer(b)
+	req := &OptimizeRequest{MLIR: divPow2Module, RuleSet: "imgconv"}
+	if _, _, err := c.Optimize(context.Background(), req); err != nil {
+		b.Fatalf("warmup: %v", err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, source, err := c.OptimizeRaw(context.Background(), req)
+		if err != nil {
+			b.Fatalf("request: %v", err)
+		}
+		if source != "hit" {
+			b.Fatalf("source = %q, want hit", source)
+		}
+	}
+}
+
+// BenchmarkServeCacheMiss measures the cold path: every iteration uses a
+// distinct function name, so every request is a full saturation run.
+func BenchmarkServeCacheMiss(b *testing.B) {
+	_, c := newBenchServer(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := &OptimizeRequest{
+			MLIR: fmt.Sprintf(`func.func @f%d(%%x: i64) -> i64 {
+  %%c = arith.constant 256 : i64
+  %%r = arith.divsi %%x, %%c : i64
+  func.return %%r : i64
+}
+`, i),
+			RuleSet: "imgconv",
+		}
+		_, source, err := c.OptimizeRaw(context.Background(), req)
+		if err != nil {
+			b.Fatalf("request %d: %v", i, err)
+		}
+		if source != "miss" {
+			b.Fatalf("source = %q, want miss", source)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Client is a small typed client for the egg-serve API, used by the
+// service tests, the smoke target, and embeddable by Go callers.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the given base URL.
+func NewClient(baseURL string) *Client { return &Client{BaseURL: baseURL} }
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// APIError is a non-2xx response decoded from the server's error body.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("serve: %d: %s", e.StatusCode, e.Message)
+}
+
+// Optimize submits a module and returns the optimized result plus the
+// cache disposition from the X-Egg-Cache header ("hit", "flight", or
+// "miss"). Canceling ctx abandons the request; server-side, the last
+// abandoning client cancels the saturation run itself.
+func (c *Client) Optimize(ctx context.Context, req *OptimizeRequest) (*OptimizeResponse, string, error) {
+	data, source, err := c.OptimizeRaw(ctx, req)
+	if err != nil {
+		return nil, source, err
+	}
+	var resp OptimizeResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return nil, source, fmt.Errorf("serve: decoding response: %w", err)
+	}
+	return &resp, source, nil
+}
+
+// OptimizeRaw is Optimize without decoding: it returns the exact response
+// bytes, which the byte-identity tests compare across concurrent callers.
+func (c *Client) OptimizeRaw(ctx context.Context, req *OptimizeRequest) ([]byte, string, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, "", err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/optimize", bytes.NewReader(body))
+	if err != nil {
+		return nil, "", err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := c.http().Do(hreq)
+	if err != nil {
+		return nil, "", err
+	}
+	defer hresp.Body.Close()
+	data, err := io.ReadAll(hresp.Body)
+	if err != nil {
+		return nil, "", err
+	}
+	if hresp.StatusCode != http.StatusOK {
+		var e ErrorResponse
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return nil, "", &APIError{StatusCode: hresp.StatusCode, Message: e.Error}
+		}
+		return nil, "", &APIError{StatusCode: hresp.StatusCode, Message: string(data)}
+	}
+	return data, hresp.Header.Get("X-Egg-Cache"), nil
+}
+
+// Health checks /healthz; a draining or down server returns an error.
+func (c *Client) Health(ctx context.Context) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	hresp, err := c.http().Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		return &APIError{StatusCode: hresp.StatusCode, Message: "unhealthy"}
+	}
+	return nil
+}
+
+// Stats fetches /statz.
+func (c *Client) Stats(ctx context.Context) (*ServerStats, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/statz", nil)
+	if err != nil {
+		return nil, err
+	}
+	hresp, err := c.http().Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer hresp.Body.Close()
+	var st ServerStats
+	if err := json.NewDecoder(hresp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}

@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyWindow is the sliding-sample size the latency quantiles are
+// computed over. Big enough to make p99 meaningful, small enough that a
+// quantile read (copy + sort under the lock) stays cheap.
+const latencyWindow = 2048
+
+// metrics holds the service counters. Counters are atomics (incremented
+// on hot paths); the latency ring is mutex-guarded because observation
+// and quantile reads need consistency.
+type metrics struct {
+	requests     atomic.Uint64
+	hits         atomic.Uint64
+	misses       atomic.Uint64
+	runs         atomic.Uint64
+	errors       atomic.Uint64
+	canceled     atomic.Uint64
+	stopCanceled atomic.Uint64
+	queueFull    atomic.Uint64
+	inflight     atomic.Int64
+
+	mu    sync.Mutex
+	ring  [latencyWindow]time.Duration
+	pos   int
+	count int
+}
+
+// observe records one request's latency in the sliding window.
+func (m *metrics) observe(d time.Duration) {
+	m.mu.Lock()
+	m.ring[m.pos] = d
+	m.pos = (m.pos + 1) % latencyWindow
+	if m.count < latencyWindow {
+		m.count++
+	}
+	m.mu.Unlock()
+}
+
+// quantiles returns the q-quantiles (0..1, ascending) of the window in
+// one sort. Returns zeros when nothing has been observed.
+func (m *metrics) quantiles(qs ...float64) []time.Duration {
+	out := make([]time.Duration, len(qs))
+	m.mu.Lock()
+	n := m.count
+	sample := make([]time.Duration, n)
+	copy(sample, m.ring[:n])
+	m.mu.Unlock()
+	if n == 0 {
+		return out
+	}
+	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+	for i, q := range qs {
+		// Ceiling index so high quantiles report the tail even at small n
+		// (p99 of two samples is the max, not the min).
+		idx := int(math.Ceil(q * float64(n-1)))
+		out[i] = sample[idx]
+	}
+	return out
+}
