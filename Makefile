@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet fmt bench bench-smoke trace-smoke debug-smoke serve-smoke examples fig3 tables full clean
+.PHONY: all build test test-race vet fmt bench bench-smoke trace-smoke debug-smoke serve-smoke fuzz-smoke fuzz-nightly examples fig3 tables full clean
 
 all: build vet test test-race
 
@@ -69,6 +69,22 @@ debug-smoke:
 # verify one saturation run, drain gracefully.
 serve-smoke:
 	$(GO) run ./cmd/egg-serve -smoke
+
+# Differential fuzzing smoke: replay the checked-in repro corpus (fixed
+# regressions must stay fixed, expect-fail entries must stay caught —
+# they pin the oracle's detection power), then a short fresh fuzz over
+# every rule bundle. Deterministic in the seed, so CI failures are
+# locally reproducible verbatim.
+fuzz-smoke:
+	$(GO) run ./cmd/egg-fuzz -replay internal/difftest/testdata/corpus
+	$(GO) run ./cmd/egg-fuzz -rules all -n 10 -seed 1
+
+# Long-budget campaign for the nightly job: many seeds per bundle,
+# minimized repros written to fuzz-repros/ for artifact upload. Known
+# open bugs make this red until fixed — that is its job.
+fuzz-nightly:
+	$(GO) run ./cmd/egg-fuzz -rules all -n 500 -seed $$(date +%j) \
+		-minimize -corpus fuzz-repros -max-failures 10
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -209,6 +209,120 @@ func TestMLIRRunCLI(t *testing.T) {
 	if !strings.Contains(s, "cycles = ") || !strings.Contains(s, "arith.divsi") {
 		t.Errorf("missing cycle/count report:\n%s", s)
 	}
+
+	// -check runs the differential oracle on the module: the imgconv
+	// bundle's shift rewrite must agree with the original on every
+	// generated input vector.
+	out, err = exec.Command(bin, "-check", "-rules", "imgconv", mlirPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("mlir-run -check: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "check ok: bundle imgconv") {
+		t.Errorf("-check did not report ok:\n%s", out)
+	}
+
+	// With no file argument, -check reads the module from stdin.
+	cmd := exec.Command(bin, "-check", "-rules", "imgconv")
+	cmd.Stdin = strings.NewReader(cliProgram)
+	out, err = cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("mlir-run -check via stdin: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "check ok") {
+		t.Errorf("-check via stdin did not report ok:\n%s", out)
+	}
+
+	// The deliberately unsound bundle (the paper's literal div->shr rule,
+	// wrong for negative dividends) must be caught with a non-zero exit
+	// and the disagreeing optimized module in the report.
+	unsound := `
+func.func @fuzz(%x: i64) -> i64 {
+  %c2 = arith.constant 2 : i64
+  %r = arith.divsi %x, %c2 : i64
+  func.return %r : i64
+}
+`
+	unsoundPath := filepath.Join(dir, "unsound.mlir")
+	if err := os.WriteFile(unsoundPath, []byte(unsound), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = exec.Command(bin, "-check", "-rules", "imgconv-unsound", unsoundPath).CombinedOutput()
+	if err == nil {
+		t.Errorf("-check accepted the unsound bundle:\n%s", out)
+	}
+	if !strings.Contains(string(out), "CHECK FAILED") || !strings.Contains(string(out), "--- optimized") {
+		t.Errorf("-check failure report incomplete:\n%s", out)
+	}
+}
+
+// TestEggFuzzCLI drives the differential fuzzing gate binary: corpus
+// replay (the CI smoke gate), determinism in -seed, and the
+// fail-minimize-pin loop on the deliberately unsound rule bundle.
+func TestEggFuzzCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short")
+	}
+	bin := buildTool(t, "egg-fuzz")
+
+	// The checked-in corpus must replay clean: every entry's verdict
+	// matches its "// expect:" header.
+	out, err := exec.Command(bin, "-replay", "internal/difftest/testdata/corpus").CombinedOutput()
+	if err != nil {
+		t.Fatalf("egg-fuzz -replay: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "entries replayed, all verdicts match") {
+		t.Errorf("replay summary missing:\n%s", out)
+	}
+
+	// Same seed, same invocation: byte-identical output.
+	run := func() string {
+		out, err := exec.Command(bin, "-rules", "imgconv", "-n", "3", "-seed", "5", "-v").CombinedOutput()
+		if err != nil {
+			t.Fatalf("egg-fuzz: %v\n%s", err, out)
+		}
+		return string(out)
+	}
+	first := run()
+	if second := run(); first != second {
+		t.Errorf("egg-fuzz is not deterministic in -seed:\n--- first\n%s--- second\n%s", first, second)
+	}
+	if !strings.Contains(first, "checked 3 modules") || !strings.Contains(first, "0 failure(s)") {
+		t.Errorf("fuzz summary unexpected:\n%s", first)
+	}
+
+	// The unsound bundle must fail, shrink to a tiny repro, and write a
+	// corpus entry that itself replays clean (verdict matches expect: fail).
+	corpusDir := filepath.Join(t.TempDir(), "repros")
+	out, err = exec.Command(bin, "-rules", "imgconv-unsound", "-n", "1", "-seed", "32",
+		"-budget", "10", "-minimize", "-corpus", corpusDir, "-max-failures", "1").CombinedOutput()
+	if err == nil {
+		t.Fatalf("unsound bundle not caught:\n%s", out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "FAIL bundle=imgconv-unsound seed=32") || !strings.Contains(s, "mismatch") {
+		t.Errorf("failure report missing:\n%s", s)
+	}
+	if !strings.Contains(s, "minimized to 2 ops") {
+		t.Errorf("shrinker did not reach the 2-op repro:\n%s", s)
+	}
+	entry, err := os.ReadFile(filepath.Join(corpusDir, "repro_imgconv-unsound_seed32.mlir"))
+	if err != nil {
+		t.Fatalf("corpus entry not written: %v", err)
+	}
+	for _, want := range []string{"// bundle: imgconv-unsound", "// expect: fail", "arith.divsi"} {
+		if !strings.Contains(string(entry), want) {
+			t.Errorf("corpus entry missing %q:\n%s", want, entry)
+		}
+	}
+	out, err = exec.Command(bin, "-replay", corpusDir).CombinedOutput()
+	if err != nil {
+		t.Fatalf("replaying the written repro: %v\n%s", err, out)
+	}
+
+	// Unknown bundles report a non-zero exit.
+	if err := exec.Command(bin, "-rules", "nope", "-n", "1").Run(); err == nil {
+		t.Error("unknown rule bundle accepted")
+	}
 }
 
 // TestEgglogCLI drives the standalone egglog interpreter.

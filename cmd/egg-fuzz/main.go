@@ -1,0 +1,153 @@
+// Command egg-fuzz is the differential fuzzing gate: it generates random
+// MLIR modules (internal/genmod), optimizes each one, and checks
+// original-vs-optimized agreement through the interpreter
+// (internal/difftest). Failing modules are greedily minimized and can be
+// written to a corpus directory as reproducible regression entries.
+//
+// Everything is deterministic in -seed: the same invocation generates
+// the same modules, the same input vectors, and the same verdicts, so a
+// failure report is a complete repro recipe.
+//
+// Usage:
+//
+//	egg-fuzz -rules imgconv -seed 1 -n 200            # fuzz one bundle
+//	egg-fuzz -rules all -n 50                         # sweep every bundle
+//	egg-fuzz -rules imgconv-unsound -minimize          # watch the oracle work
+//	egg-fuzz -replay internal/difftest/testdata/corpus # CI smoke gate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dialegg/internal/difftest"
+	"dialegg/internal/genmod"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "base seed; module i uses seed+i")
+	n := flag.Int("n", 100, "number of modules to generate and check")
+	budget := flag.Int("budget", 14, "op budget per generated module")
+	rulesName := flag.String("rules", "mixed", "bundle: imgconv, imgconv-unsound, vecnorm, poly, matmul, mixed, or all")
+	inputs := flag.Int("inputs", 5, "input vectors per function")
+	properties := flag.Bool("properties", false, "also check metamorphic properties (slower)")
+	minimize := flag.Bool("minimize", false, "greedily shrink failing modules before reporting")
+	corpus := flag.String("corpus", "", "write minimized repros into this directory as corpus entries")
+	replay := flag.String("replay", "", "replay a corpus directory instead of fuzzing")
+	maxFail := flag.Int("max-failures", 5, "stop after this many failures")
+	verbose := flag.Bool("v", false, "per-seed progress")
+	flag.Parse()
+
+	if err := run(*seed, *n, *budget, *rulesName, *inputs, *properties, *minimize, *corpus, *replay, *maxFail, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "egg-fuzz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed int64, n, budget int, rulesName string, inputs int, properties, minimize bool, corpus, replay string, maxFail int, verbose bool) error {
+	if replay != "" {
+		count, err := difftest.ReplayCorpus(replay)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("corpus: %d entries replayed, all verdicts match\n", count)
+		return nil
+	}
+
+	var bundles []difftest.Bundle
+	if rulesName == "all" {
+		for _, name := range []string{"imgconv", "vecnorm", "poly", "matmul", "mixed"} {
+			b, err := difftest.BundleFor(name)
+			if err != nil {
+				return err
+			}
+			bundles = append(bundles, b)
+		}
+	} else {
+		b, err := difftest.BundleFor(rulesName)
+		if err != nil {
+			return err
+		}
+		bundles = append(bundles, b)
+	}
+
+	checked, inputsRun, exempt, failures := 0, 0, 0, 0
+	for _, b := range bundles {
+		for i := 0; i < n; i++ {
+			s := seed + int64(i)
+			src := genmod.Generate(genmod.Config{Seed: s, Ops: budget, Profile: b.Profile})
+			opts := b.Options()
+			opts.Inputs = inputs
+			opts.InputSeed = s
+			opts.Properties = properties
+			res, err := difftest.Check(src, opts)
+			if err != nil {
+				return fmt.Errorf("bundle %s seed %d: generator produced an invalid module: %w\n%s", b.Name, s, err, src)
+			}
+			checked++
+			inputsRun += res.InputsRun
+			exempt += res.InputsExempt
+			if verbose {
+				fmt.Printf("bundle %s seed %d: ok=%t inputs=%d exempt=%d\n",
+					b.Name, s, res.Failure == nil, res.InputsRun, res.InputsExempt)
+			}
+			if res.Failure == nil {
+				continue
+			}
+			failures++
+			if err := report(b, s, res.Failure, minimize, corpus); err != nil {
+				return err
+			}
+			if failures >= maxFail {
+				fmt.Fprintf(os.Stderr, "stopping after %d failures\n", failures)
+				return summarize(checked, inputsRun, exempt, failures)
+			}
+		}
+	}
+	return summarize(checked, inputsRun, exempt, failures)
+}
+
+func summarize(checked, inputsRun, exempt, failures int) error {
+	fmt.Printf("checked %d modules (%d input vectors run, %d exempt): %d failure(s)\n",
+		checked, inputsRun, exempt, failures)
+	if failures > 0 {
+		return fmt.Errorf("%d failing module(s)", failures)
+	}
+	return nil
+}
+
+// report prints one failure and optionally minimizes it and writes a
+// corpus entry.
+func report(b difftest.Bundle, seed int64, f *difftest.Failure, minimize bool, corpus string) error {
+	fmt.Printf("FAIL bundle=%s seed=%d: %s\n", b.Name, seed, f)
+	repro := f.Original
+	if minimize {
+		opts := b.Options()
+		kind := f.Kind
+		min, err := difftest.Minimize(f.Original, func(src string) bool {
+			r, err := difftest.Check(src, opts)
+			return err == nil && r.Failure != nil && r.Failure.Kind == kind
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "minimize failed (reporting unshrunk module): %v\n", err)
+		} else {
+			repro = min
+			fmt.Printf("minimized to %d ops:\n%s", difftest.CountOpsSrc(min), min)
+		}
+	}
+	if corpus != "" {
+		if err := os.MkdirAll(corpus, 0o755); err != nil {
+			return err
+		}
+		note := fmt.Sprintf("seed=%d kind=%s detail=%s", seed, f.Kind, f.Detail)
+		entry := difftest.FormatEntry(b.Name, "fail", note, repro)
+		path := filepath.Join(corpus, fmt.Sprintf("repro_%s_seed%d.mlir", b.Name, seed))
+		if err := os.WriteFile(path, []byte(entry), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	return nil
+}

@@ -99,10 +99,13 @@ func run(cfg serve.Config, addr, statsJSON string, drainTimeout time.Duration) e
 	hs := &http.Server{Handler: s.Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
-	fmt.Fprintf(os.Stderr, "egg-serve: listening on %s\n", ln.Addr())
 
+	// Install the signal handler before announcing the address: clients
+	// treat the announcement as "ready", and a SIGTERM that lands before
+	// NotifyContext would kill the process with no graceful drain.
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+	fmt.Fprintf(os.Stderr, "egg-serve: listening on %s\n", ln.Addr())
 	select {
 	case err := <-serveErr:
 		return err

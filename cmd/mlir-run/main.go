@@ -4,10 +4,17 @@
 // counts. It is the execution substrate used to verify and measure the
 // benchmark programs (DESIGN.md §3).
 //
+// With -check, mlir-run instead runs the differential oracle on the
+// module: it optimizes it under a named rule bundle and asserts that the
+// original and optimized programs agree on random inputs
+// (internal/difftest) — a one-shot version of the egg-fuzz gate for a
+// module you already have in hand.
+//
 // Usage:
 //
 //	mlir-run -fn img2gray prog.mlir
 //	mlir-run -fn classic -int-args 21 prog.mlir
+//	mlir-run -check -rules imgconv prog.mlir
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"strings"
 
 	"dialegg/internal/dialects"
+	"dialegg/internal/difftest"
 	"dialegg/internal/interp"
 	"dialegg/internal/mlir"
 	"dialegg/internal/obs"
@@ -35,12 +43,53 @@ func main() {
 	profile := flag.Bool("profile", false, "print the per-op cycle profile (sorted by cost share)")
 	stats := flag.Bool("stats", false, "print execution statistics (cycles, per-op profile) to stderr")
 	statsJSON := flag.String("stats-json", "", "write execution statistics as JSON to this file")
+	check := flag.Bool("check", false, "differential-check the module: optimize it and assert original/optimized agreement on random inputs")
+	rulesName := flag.String("rules", "mixed", "rule bundle for -check (imgconv, vecnorm, poly, matmul, mixed)")
+	checkInputs := flag.Int("check-inputs", 5, "input vectors per function for -check")
 	flag.Parse()
 
+	if *check {
+		if err := runCheck(*rulesName, *seed, *checkInputs); err != nil {
+			fmt.Fprintln(os.Stderr, "mlir-run:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*fn, *intArgs, *floatArgs, *seed, *counts, *profile, *stats, *statsJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "mlir-run:", err)
 		os.Exit(1)
 	}
+}
+
+// runCheck is the -check mode: the differential oracle on one module.
+func runCheck(rulesName string, seed int64, inputs int) error {
+	var src []byte
+	var err error
+	if flag.NArg() == 1 {
+		src, err = os.ReadFile(flag.Arg(0))
+	} else {
+		src, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		return err
+	}
+	b, err := difftest.BundleFor(rulesName)
+	if err != nil {
+		return err
+	}
+	opts := b.Options()
+	opts.InputSeed = seed
+	opts.Inputs = inputs
+	res, err := difftest.Check(string(src), opts)
+	if err != nil {
+		return err
+	}
+	if res.Failure != nil {
+		fmt.Printf("CHECK FAILED (%s): %s\n--- optimized\n%s", b.Name, res.Failure, res.Failure.Optimized)
+		return fmt.Errorf("module and its optimization disagree")
+	}
+	fmt.Printf("check ok: bundle %s, %d input vectors run, %d exempt\n", b.Name, res.InputsRun, res.InputsExempt)
+	return nil
 }
 
 func run(fn, intArgs, floatArgs string, seed int64, printCounts, printProfile, printStats bool, statsJSON string) error {

@@ -69,6 +69,62 @@ func.func @deep(%n: index, %flag: i1) -> i64 {
 	}
 }
 
+// TestNestedLoopCapturedIterArg: back-translation regression found by the
+// differential fuzzer (poly seed 19 minimized). An op inside the inner
+// loop captures the *outer* loop's iter_arg; during rebuild the captured
+// leaf used to masquerade as evidence of the inner block's identity (same
+// parent op name, same argument shapes as the outer block), binding the
+// rebuilt inner block to the original outer one and leaving the inner
+// iter_arg unbound.
+func TestNestedLoopCapturedIterArg(t *testing.T) {
+	src := `
+func.func @nest(%x: f64) -> f64 {
+  %c0 = arith.constant 0 : index
+  %c1 = arith.constant 1 : index
+  %r = scf.for %i = %c0 to %c1 step %c1 iter_args(%a = %x) -> (f64) {
+    %inner = scf.for %j = %c0 to %c1 step %c1 iter_args(%b = %x) -> (f64) {
+      %cap = arith.addf %x, %a : f64
+      scf.yield %b : f64
+    }
+    scf.yield %inner : f64
+  }
+  func.return %r : f64
+}`
+	m, _, reg := optimize(t, src, rules.Poly())
+	if countOps(m, "scf.for") != 2 {
+		t.Errorf("nested loops lost:\n%s", mlir.PrintModule(m, reg))
+	}
+}
+
+// TestIterArgOnlyUsedInNestedRegion: the sibling regression (poly seed
+// 44). The scf.for's iter_arg is referenced only inside the nested
+// scf.if, so no top-level leaf of the loop's body identifies the loop's
+// own block; rebuild used to fall back to unbound convention arguments
+// and fail on the captured reference. Positional anchoring through the
+// original op resolves it.
+func TestIterArgOnlyUsedInNestedRegion(t *testing.T) {
+	src := `
+func.func @deep(%x: f64, %flag: i1) -> f64 {
+  %c0 = arith.constant 0 : index
+  %c2 = arith.constant 2 : index
+  %c1 = arith.constant 1 : index
+  %r = scf.for %i = %c0 to %c2 step %c1 iter_args(%acc = %x) -> (f64) {
+    %v = scf.if %flag -> (f64) {
+      scf.yield %x : f64
+    } else {
+      %s = arith.addf %acc, %x : f64
+      scf.yield %s : f64
+    }
+    scf.yield %v : f64
+  }
+  func.return %r : f64
+}`
+	m, _, reg := optimize(t, src, rules.Poly())
+	if countOps(m, "scf.for") != 1 || countOps(m, "scf.if") != 1 {
+		t.Errorf("control flow lost:\n%s", mlir.PrintModule(m, reg))
+	}
+}
+
 // TestVariadicCallEncodings: func_call_N suffixes select by operand count.
 func TestVariadicCallEncodings(t *testing.T) {
 	callRules := `

@@ -108,7 +108,11 @@ func (rb *rebuilder) rebuildBlockInto(b *mlir.Block, blkTerm *sexp.Node, origBlo
 	elems := blkTerm.Args()[0].Args()
 	zip := origBlock != nil && len(origBlock.Ops) == len(elems)
 	for i, elem := range elems {
-		v, err := rb.buildTerm(elem)
+		var origOp *mlir.Operation
+		if zip {
+			origOp = origBlock.Ops[i]
+		}
+		v, err := rb.buildTerm(elem, origOp)
 		if err != nil {
 			return err
 		}
@@ -126,8 +130,11 @@ func (rb *rebuilder) rebuildBlockInto(b *mlir.Block, blkTerm *sexp.Node, origBlo
 
 // buildTerm rebuilds one term, appending any needed operations to the
 // current block, and returns the term's SSA value (nil for zero-result
-// operations such as terminators).
-func (rb *rebuilder) buildTerm(term *sexp.Node) (*mlir.Value, error) {
+// operations such as terminators). origOp, when non-nil, is the original
+// operation this term is the optimized form of (known positionally: Blk
+// vectors are stable through saturation); it anchors region rebinding
+// when the term's leaves cannot identify the original block themselves.
+func (rb *rebuilder) buildTerm(term *sexp.Node, origOp *mlir.Operation) (*mlir.Value, error) {
 	key := term.String()
 	if v, ok := rb.memoGet(key); ok {
 		return v, nil
@@ -153,7 +160,7 @@ func (rb *rebuilder) buildTerm(term *sexp.Node) (*mlir.Value, error) {
 	// this one).
 	operands := make([]*mlir.Value, enc.NumOperands)
 	for i := 0; i < enc.NumOperands; i++ {
-		v, err := rb.buildTerm(args[i])
+		v, err := rb.buildTerm(args[i], nil)
 		if err != nil {
 			return nil, err
 		}
@@ -187,9 +194,20 @@ func (rb *rebuilder) buildTerm(term *sexp.Node) (*mlir.Value, error) {
 	rb.rebuiltEncoded[op] = true
 
 	// Regions last: region scopes may reference values defined so far.
+	// origOp anchors positional block matching only when the extracted
+	// term is still the same operation shape as the original (a rewrite
+	// that replaced the op wholesale carries no region correspondence).
+	var origRegions []*mlir.Region
+	if origOp != nil && origOp.Name == enc.MLIRName && len(origOp.Regions) == enc.NumRegions {
+		origRegions = origOp.Regions
+	}
 	regionStart := enc.NumOperands + enc.NumAttrs
 	for i := 0; i < enc.NumRegions; i++ {
-		if err := rb.rebuildRegion(op, args[regionStart+i]); err != nil {
+		var origRegion *mlir.Region
+		if origRegions != nil {
+			origRegion = origRegions[i]
+		}
+		if err := rb.rebuildRegion(op, args[regionStart+i], origRegion); err != nil {
 			return nil, err
 		}
 	}
@@ -369,17 +387,28 @@ func (rb *rebuilder) reEmitOpaqueDef(op *mlir.Operation) (*mlir.Operation, error
 
 // rebuildRegion rebuilds a (Reg (vec-of (Blk ...)...)) term into a new
 // region of op, creating entry-block arguments from the original block
-// whose arguments the region body references.
-func (rb *rebuilder) rebuildRegion(op *mlir.Operation, regTerm *sexp.Node) error {
+// whose arguments the region body references. origRegion, when non-nil,
+// is the original region this term derives from (known positionally from
+// the original op); its blocks anchor the rebinding even when the body
+// never references its own arguments directly — e.g. an scf.for whose
+// iter_arg is only used inside a nested scf.if region.
+func (rb *rebuilder) rebuildRegion(op *mlir.Operation, regTerm *sexp.Node, origRegion *mlir.Region) error {
 	if regTerm.Head() != "Reg" || len(regTerm.Args()) != 1 || regTerm.Args()[0].Head() != "vec-of" {
 		return fmt.Errorf("dialegg: malformed region term %s", regTerm)
 	}
 	region := op.AddRegion()
-	for _, blkTerm := range regTerm.Args()[0].Args() {
+	for bi, blkTerm := range regTerm.Args()[0].Args() {
 		block := region.AddBlock()
-		// Find the original block whose arguments this body references and
-		// bind them positionally to fresh arguments.
-		origBlock := rb.findOriginalBlock(blkTerm, op.Name)
+		// Identify the original block: positionally through the original
+		// region when known (the strongest evidence), otherwise by scanning
+		// the body for leaves the block owns.
+		var origBlock *mlir.Block
+		if origRegion != nil && bi < len(origRegion.Blocks) && !rb.blockClaimed(origRegion.Blocks[bi]) {
+			origBlock = origRegion.Blocks[bi]
+		}
+		if origBlock == nil {
+			origBlock = rb.findOriginalBlock(blkTerm, op.Name)
+		}
 		if origBlock != nil {
 			for _, a := range origBlock.Args {
 				na := block.AddArg(a.Typ, a.Name)
@@ -405,10 +434,15 @@ func (rb *rebuilder) rebuildRegion(op *mlir.Operation, regTerm *sexp.Node) error
 // It scans the term for Value leaves — block arguments and opaque
 // operation results — whose original location is known, then walks up as
 // many original region levels as there are Reg boundaries between the leaf
-// and this block term. A leaf nested k regions deep in the term must
-// belong k regions deep in the original, so the walk lands on the block at
-// this term's level; the owner op's name is checked against opName as a
-// guard.
+// and this block term. A leaf the block *owns* lands exactly on the block
+// at this term's level, but a leaf capturing a value from an enclosing
+// region walks up to a strictly shallower block — and when the enclosing
+// op has the same name (a nested scf.for capturing the outer iter_arg),
+// the name guard alone cannot tell them apart. Enclosing blocks were
+// already claimed by the time a nested region is rebuilt (regions rebuild
+// outside-in, and each original block derives at most one rebuilt block),
+// so candidates whose arguments are already rebound are rejected and the
+// scan continues to a leaf the block really owns.
 func (rb *rebuilder) findOriginalBlock(blkTerm *sexp.Node, opName string) *mlir.Block {
 	var found *mlir.Block
 	var scan func(n *sexp.Node, depth int)
@@ -429,7 +463,8 @@ func (rb *rebuilder) findOriginalBlock(blkTerm *sexp.Node, opName string) *mlir.
 			}
 			if c := walkUpBlocks(leafBlock, depth); c != nil &&
 				c.ParentRegion != nil && c.ParentRegion.ParentOp != nil &&
-				c.ParentRegion.ParentOp.Name == opName {
+				c.ParentRegion.ParentOp.Name == opName &&
+				!rb.blockClaimed(c) {
 				found = c
 			}
 			return
@@ -444,6 +479,20 @@ func (rb *rebuilder) findOriginalBlock(blkTerm *sexp.Node, opName string) *mlir.
 	}
 	scan(blkTerm, 0)
 	return found
+}
+
+// blockClaimed reports whether b's arguments are already rebound — i.e.
+// b was already identified as the original of some other rebuilt block
+// (an enclosing one; regions rebuild outside-in). A claimed block cannot
+// be the original of the term being rebuilt, so a leaf that walks up to
+// one is a captured use of an enclosing region's value, not evidence of
+// the block's identity.
+func (rb *rebuilder) blockClaimed(b *mlir.Block) bool {
+	if len(b.Args) == 0 {
+		return false
+	}
+	_, claimed := rb.valueRemap[b.Args[0]]
+	return claimed
 }
 
 // walkUpBlocks ascends n region levels from b, returning nil when the

@@ -1,0 +1,148 @@
+package difftest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// An Entry is one checked-in corpus module: MLIR text preceded by a
+// comment header that records which bundle to replay it under and what
+// verdict is expected. `expect: pass` entries are regression repros —
+// once-failing modules that the fixed rules must now optimize soundly.
+// `expect: fail` entries pin the oracle's detection power: they must
+// keep failing (under a deliberately unsound bundle), proving the gate
+// still catches the class of bug they encode.
+type Entry struct {
+	// Path is where the entry was loaded from ("" for in-memory entries).
+	Path string
+	// Bundle names the rule/policy bundle to replay under (BundleFor).
+	Bundle string
+	// Expect is "pass" or "fail".
+	Expect string
+	// Note is free-form provenance (seed, failure kind, date).
+	Note string
+	// Source is the full file text; the MLIR parser skips the comment
+	// header, so Source feeds Check directly.
+	Source string
+}
+
+// FormatEntry renders a corpus file: header comments + module text.
+func FormatEntry(bundle, expect, note, src string) string {
+	var b strings.Builder
+	b.WriteString("// egg-fuzz corpus entry\n")
+	fmt.Fprintf(&b, "// bundle: %s\n", bundle)
+	fmt.Fprintf(&b, "// expect: %s\n", expect)
+	if note != "" {
+		fmt.Fprintf(&b, "// note: %s\n", note)
+	}
+	b.WriteString(src)
+	if !strings.HasSuffix(src, "\n") {
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ParseEntry reads the header fields back out of a corpus file's text.
+func ParseEntry(text string) (Entry, error) {
+	e := Entry{Source: text, Expect: "pass"}
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, "//") {
+			break
+		}
+		body := strings.TrimSpace(strings.TrimPrefix(line, "//"))
+		if k, v, ok := strings.Cut(body, ":"); ok {
+			v = strings.TrimSpace(v)
+			switch strings.TrimSpace(k) {
+			case "bundle":
+				e.Bundle = v
+			case "expect":
+				e.Expect = v
+			case "note":
+				e.Note = v
+			}
+		}
+	}
+	if e.Bundle == "" {
+		return e, fmt.Errorf("corpus entry has no '// bundle:' header")
+	}
+	if e.Expect != "pass" && e.Expect != "fail" {
+		return e, fmt.Errorf("corpus entry expect %q (want pass or fail)", e.Expect)
+	}
+	return e, nil
+}
+
+// LoadCorpus reads every .mlir file in dir, sorted by name.
+func LoadCorpus(dir string) ([]Entry, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.mlir"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	var out []Entry
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		e, err := ParseEntry(string(data))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		e.Path = p
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// ReplayEntry runs the oracle on one entry under its bundle's policy and
+// reports whether the verdict matches the entry's expectation.
+func ReplayEntry(e Entry) (ok bool, res *Result, err error) {
+	b, err := BundleFor(e.Bundle)
+	if err != nil {
+		return false, nil, err
+	}
+	opts := b.Options()
+	opts.Properties = e.Expect == "pass" // property checks only make sense on sound bundles
+	res, err = Check(e.Source, opts)
+	if err != nil {
+		return false, nil, err
+	}
+	switch e.Expect {
+	case "fail":
+		return res.Failure != nil, res, nil
+	default:
+		return res.Failure == nil, res, nil
+	}
+}
+
+// ReplayCorpus replays a corpus directory and returns an error naming
+// every entry whose verdict does not match its expectation. This is the
+// fuzz-smoke CI gate's core.
+func ReplayCorpus(dir string) (int, error) {
+	entries, err := LoadCorpus(dir)
+	if err != nil {
+		return 0, err
+	}
+	if len(entries) == 0 {
+		return 0, fmt.Errorf("corpus %s is empty", dir)
+	}
+	var bad []string
+	for _, e := range entries {
+		ok, res, err := ReplayEntry(e)
+		switch {
+		case err != nil:
+			bad = append(bad, fmt.Sprintf("%s: %v", e.Path, err))
+		case !ok && e.Expect == "pass":
+			bad = append(bad, fmt.Sprintf("%s: expected pass, got %s", e.Path, res.Failure))
+		case !ok:
+			bad = append(bad, fmt.Sprintf("%s: expected fail, but the oracle found nothing", e.Path))
+		}
+	}
+	if len(bad) > 0 {
+		return len(entries), fmt.Errorf("corpus verdict mismatches:\n  %s", strings.Join(bad, "\n  "))
+	}
+	return len(entries), nil
+}

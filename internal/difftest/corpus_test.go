@@ -1,0 +1,63 @@
+package difftest
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCorpusReplay is the fuzz-smoke gate's core assertion: every
+// checked-in corpus entry's verdict matches its expectation. `expect:
+// pass` entries are fixed regressions; `expect: fail` entries prove the
+// oracle still detects the bug class they pin.
+func TestCorpusReplay(t *testing.T) {
+	n, err := ReplayCorpus("testdata/corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 5 {
+		t.Errorf("corpus has shrunk to %d entries — repros should accumulate, not vanish", n)
+	}
+}
+
+func TestEntryRoundtrip(t *testing.T) {
+	src := "func.func @f() -> i64 {\n  %c = arith.constant 1 : i64\n  func.return %c : i64\n}\n"
+	text := FormatEntry("imgconv", "pass", "seed=7 kind=mismatch", src)
+	e, err := ParseEntry(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Bundle != "imgconv" || e.Expect != "pass" || e.Note != "seed=7 kind=mismatch" {
+		t.Errorf("roundtrip lost headers: %+v", e)
+	}
+	if !strings.Contains(e.Source, "func.func @f") {
+		t.Errorf("roundtrip lost the module body")
+	}
+	// The header must be transparent to the oracle.
+	b, _ := BundleFor("imgconv")
+	res, err := Check(e.Source, b.Options())
+	if err != nil {
+		t.Fatalf("entry with header does not check: %v", err)
+	}
+	if res.Failure != nil {
+		t.Fatalf("trivial module flagged: %s", res.Failure)
+	}
+}
+
+func TestEntryHeaderValidation(t *testing.T) {
+	if _, err := ParseEntry("func.func @f() { }\n"); err == nil {
+		t.Error("entry without a bundle header must be rejected")
+	}
+	if _, err := ParseEntry("// bundle: imgconv\n// expect: maybe\nx\n"); err == nil {
+		t.Error("entry with a bogus expect value must be rejected")
+	}
+}
+
+func TestLoadCorpusMissingDir(t *testing.T) {
+	entries, err := LoadCorpus("testdata/does-not-exist")
+	if err != nil || len(entries) != 0 {
+		t.Errorf("missing dir should yield an empty corpus, got %d entries, err %v", len(entries), err)
+	}
+	if _, err := ReplayCorpus("testdata/does-not-exist"); err == nil {
+		t.Error("replaying an empty corpus must error — a silent empty gate gates nothing")
+	}
+}

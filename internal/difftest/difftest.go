@@ -1,0 +1,347 @@
+// Package difftest is the differential-testing oracle for the optimizer:
+// it decides whether an optimization run preserved the semantics of a
+// module by executing the original and the optimized program on the same
+// inputs through internal/interp and comparing results under an explicit
+// numeric policy.
+//
+// The oracle's verdict model separates three things that fuzzing
+// conflates easily:
+//
+//   - An error return from Check means the *input* was bad (it did not
+//     parse, verify, or execute) — a generator bug, not an optimizer bug.
+//   - A Result with a non-nil Failure means the *optimizer* misbehaved:
+//     behavioral mismatch, crash, invalid output, or a violated
+//     metamorphic property.
+//   - A nil Failure means the run survived N input vectors and the
+//     property checks.
+//
+// Numeric policy (DESIGN.md §11): integers and booleans compare exactly
+// (the rules and the interpreter share two's-complement wraparound and
+// AArch64 division semantics, so there is nothing to tolerate). Floats
+// compare under a per-bundle interp.Tolerance because reassociating
+// rewrites legitimately change rounding. Fastmath bundles additionally
+// exempt input vectors whose *reference* output is non-finite: a
+// fastmath<fast> flag asserts no-NaN/no-Inf, so such inputs are outside
+// the rewrite's precondition (e.g. 1/sqrt(x) at x <= 0) and carry no
+// soundness signal.
+package difftest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"dialegg/internal/dialects"
+	"dialegg/internal/dialegg"
+	"dialegg/internal/egraph"
+	"dialegg/internal/genmod"
+	"dialegg/internal/interp"
+	"dialegg/internal/mlir"
+	"dialegg/internal/rules"
+)
+
+// Options configures one oracle run.
+type Options struct {
+	// Rules are the egglog sources handed to the optimizer.
+	Rules []string
+	// Tolerance is the float comparison policy (zero value = exact).
+	Tolerance interp.Tolerance
+	// ExemptNonFinite skips input vectors whose reference output contains
+	// NaN or ±Inf — the fastmath precondition exemption (see package doc).
+	ExemptNonFinite bool
+	// Inputs is the number of random input vectors per function
+	// (default 5).
+	Inputs int
+	// InputSeed seeds input generation (default 1).
+	InputSeed int64
+	// MaxOps bounds one interpretation (default 2,000,000).
+	MaxOps int64
+	// RunConfig bounds saturation; the zero value uses engine defaults.
+	RunConfig egraph.RunConfig
+	// Properties additionally checks the metamorphic properties
+	// (idempotence, canonical-print fixed point, journal replay, memo
+	// determinism). Roughly triples the cost of a check.
+	Properties bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Inputs <= 0 {
+		o.Inputs = 5
+	}
+	if o.InputSeed == 0 {
+		o.InputSeed = 1
+	}
+	if o.MaxOps <= 0 {
+		o.MaxOps = 2_000_000
+	}
+	return o
+}
+
+// Bundle pairs a rule set with its oracle policy and its generator
+// profile — one named configuration of the whole fuzz loop.
+type Bundle struct {
+	Name    string
+	Rules   []string
+	Profile genmod.Profile
+	// Tolerance and ExemptNonFinite are the bundle's numeric policy.
+	Tolerance       interp.Tolerance
+	ExemptNonFinite bool
+}
+
+// BundleFor resolves a bundle name. The gate bundles use the sound rule
+// variants; "imgconv-unsound" swaps in the paper's literal §7.2 rule
+// (floor-vs-truncate on negative dividends) and exists so the oracle's
+// detection power itself can be regression-tested.
+func BundleFor(name string) (Bundle, error) {
+	switch name {
+	case "imgconv":
+		return Bundle{Name: name, Rules: []string{rules.ArithCore, rules.DivPow2Sound},
+			Profile: genmod.ProfileFor("imgconv")}, nil
+	case "imgconv-unsound":
+		return Bundle{Name: name, Rules: []string{rules.ArithCore, rules.DivPow2},
+			Profile: genmod.ProfileFor("imgconv")}, nil
+	case "vecnorm":
+		// fast_inv_sqrt is a ~0.2% approximation by design; 0.5% headroom.
+		return Bundle{Name: name, Rules: rules.VecNorm(),
+			Profile:   genmod.ProfileFor("vecnorm"),
+			Tolerance: interp.Tolerance{Rel: 5e-3, Abs: 1e-12}, ExemptNonFinite: true}, nil
+	case "poly":
+		// Horner reassociates; rounding drifts but magnitudes stay small.
+		return Bundle{Name: name, Rules: rules.Poly(),
+			Profile:   genmod.ProfileFor("poly"),
+			Tolerance: interp.Tolerance{Rel: 1e-6, Abs: 1e-9}, ExemptNonFinite: true}, nil
+	case "matmul":
+		// Chain reassociation over non-negative [0,1) inputs: no
+		// cancellation, so the drift stays near machine epsilon.
+		return Bundle{Name: name, Rules: rules.MatmulChain(),
+			Profile:   genmod.ProfileFor("matmul"),
+			Tolerance: interp.Tolerance{Rel: 1e-9, Abs: 1e-12}, ExemptNonFinite: true}, nil
+	case "mixed", "":
+		return Bundle{Name: "mixed", Rules: []string{rules.ArithCore, rules.DivPow2Sound},
+			Profile:   genmod.ProfileFor("mixed"),
+			Tolerance: interp.Tolerance{ULPs: 4}}, nil
+	}
+	return Bundle{}, fmt.Errorf("unknown bundle %q (want imgconv, imgconv-unsound, vecnorm, poly, matmul, mixed)", name)
+}
+
+// Options returns the oracle options matching the bundle's policy.
+func (b Bundle) Options() Options {
+	return Options{Rules: b.Rules, Tolerance: b.Tolerance, ExemptNonFinite: b.ExemptNonFinite}
+}
+
+// Failure describes one oracle verdict against the optimizer.
+type Failure struct {
+	// Kind is the failure class: "mismatch" (results disagree),
+	// "optimized-error" (optimized module fails to execute where the
+	// original ran), "optimizer-error" (optimization crashed),
+	// "verify-error" (optimized module fails verification), or
+	// "property:<name>" for a violated metamorphic property.
+	Kind string
+	// Fn is the function under test.
+	Fn string
+	// Inputs is the argument vector that exposed a mismatch (nil for
+	// non-execution failures).
+	Inputs []interp.Value
+	// Detail is the human-readable explanation.
+	Detail string
+	// Original and Optimized are canonical sources (Optimized may be
+	// empty when optimization itself failed).
+	Original  string
+	Optimized string
+}
+
+func (f *Failure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s @%s: %s", f.Kind, f.Fn, f.Detail)
+	if len(f.Inputs) > 0 {
+		fmt.Fprintf(&b, " (inputs: %s)", FormatInputs(f.Inputs))
+	}
+	return b.String()
+}
+
+// FormatInputs renders an argument vector compactly for reports.
+func FormatInputs(args []interp.Value) string {
+	parts := make([]string, len(args))
+	for i, a := range args {
+		if a.IsTensor() {
+			parts[i] = fmt.Sprintf("tensor(checksum=%.9g)", a.Tensor().Checksum())
+		} else {
+			parts[i] = a.String()
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Result is one oracle run's outcome.
+type Result struct {
+	// Failure is nil when the optimizer passed.
+	Failure *Failure
+	// InputsRun counts executed input vectors across all functions.
+	InputsRun int
+	// InputsExempt counts vectors skipped by the non-finite exemption.
+	InputsExempt int
+	// Report is the optimizer's report (nil when optimization failed).
+	Report *dialegg.Report
+}
+
+// Check runs the full differential oracle on one module source. An error
+// return means the input itself was invalid (did not parse, verify, or
+// execute); a Result with non-nil Failure is a verdict against the
+// optimizer. Verdicts are deterministic in (src, opts).
+func Check(src string, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	reg := dialects.NewRegistry()
+	m, err := mlir.ParseModule(src, reg)
+	if err != nil {
+		return nil, fmt.Errorf("input does not parse: %w", err)
+	}
+	if err := reg.Verify(m.Op); err != nil {
+		return nil, fmt.Errorf("input does not verify: %w", err)
+	}
+	origSrc := mlir.PrintModuleCanonical(m, reg)
+
+	res := &Result{}
+	opt := dialegg.NewOptimizer(dialegg.Options{RuleSources: opts.Rules, RunConfig: opts.RunConfig})
+	om := m.Clone()
+	report, err := opt.OptimizeModule(om)
+	if err != nil {
+		res.Failure = &Failure{Kind: "optimizer-error", Detail: err.Error(), Original: origSrc}
+		return res, nil
+	}
+	res.Report = report
+	if err := reg.Verify(om.Op); err != nil {
+		res.Failure = &Failure{Kind: "verify-error", Detail: err.Error(),
+			Original: origSrc, Optimized: mlir.PrintModuleCanonical(om, reg)}
+		return res, nil
+	}
+	optSrc := mlir.PrintModuleCanonical(om, reg)
+
+	for _, f := range m.Funcs() {
+		fn := mlir.FuncName(f)
+		ft, ok := mlir.FuncType(f)
+		if !ok {
+			continue
+		}
+		rng := rand.New(rand.NewSource(opts.InputSeed))
+		for i := 0; i < opts.Inputs; i++ {
+			args, err := RandomArgs(ft, rng)
+			if err != nil {
+				return nil, fmt.Errorf("@%s: %w", fn, err)
+			}
+			want, err := runOnce(m, fn, args, opts.MaxOps)
+			if err != nil {
+				// The generator's contract is total programs; an original
+				// that cannot execute is an input bug, not a verdict.
+				return nil, fmt.Errorf("@%s does not execute: %w", fn, err)
+			}
+			if opts.ExemptNonFinite && hasNonFinite(want) {
+				res.InputsExempt++
+				continue
+			}
+			res.InputsRun++
+			got, err := runOnce(om, fn, args, opts.MaxOps)
+			if err != nil {
+				res.Failure = &Failure{Kind: "optimized-error", Fn: fn, Inputs: args,
+					Detail: err.Error(), Original: origSrc, Optimized: optSrc}
+				return res, nil
+			}
+			if err := opts.Tolerance.CompareResults(got, want); err != nil {
+				res.Failure = &Failure{Kind: "mismatch", Fn: fn, Inputs: args,
+					Detail: err.Error(), Original: origSrc, Optimized: optSrc}
+				return res, nil
+			}
+		}
+	}
+
+	if opts.Properties {
+		if f := checkProperties(m, om, origSrc, optSrc, reg, opts); f != nil {
+			res.Failure = f
+		}
+	}
+	return res, nil
+}
+
+// runOnce interprets fn on args in a fresh interpreter.
+func runOnce(m *mlir.Module, fn string, args []interp.Value, maxOps int64) ([]interp.Value, error) {
+	in := interp.New(m)
+	in.MaxOps = maxOps
+	return in.Call(fn, args...)
+}
+
+func hasNonFinite(vals []interp.Value) bool {
+	for _, v := range vals {
+		switch {
+		case v.IsFloat():
+			if !finite(v.Float()) {
+				return true
+			}
+		case v.IsTensor():
+			t := v.Tensor()
+			if t.IsFloat() {
+				for _, f := range t.F {
+					if !finite(f) {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+func finite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
+
+// adversarialInts are always tried first: the values that expose
+// floor-vs-truncate division, wraparound, and shift edge cases.
+var adversarialInts = []int64{0, 1, -1, -7, 2, 255, -100, math.MaxInt64, math.MinInt64}
+
+// adversarialFloats avoid injected NaN/Inf by policy (internal ops may
+// still produce them; the reference-output exemption handles fastmath).
+var adversarialFloats = []float64{0, math.Copysign(0, -1), 1, -1, 0.5, -2.25, 4096}
+
+// RandomArgs builds one input vector for the function type: the rng
+// drives draws from adversarial pools and moderate random ranges.
+func RandomArgs(ft mlir.FunctionType, rng *rand.Rand) ([]interp.Value, error) {
+	var args []interp.Value
+	for i, t := range ft.Inputs {
+		switch tt := t.(type) {
+		case mlir.IntegerType, mlir.IndexType:
+			var v int64
+			switch rng.Intn(3) {
+			case 0:
+				v = adversarialInts[rng.Intn(len(adversarialInts))]
+			case 1:
+				v = rng.Int63n(201) - 100
+			default:
+				v = rng.Int63n(1<<40) - (1 << 39)
+			}
+			args = append(args, interp.IntValue(v))
+		case mlir.FloatType:
+			var v float64
+			if rng.Intn(2) == 0 {
+				v = adversarialFloats[rng.Intn(len(adversarialFloats))]
+			} else {
+				v = (rng.Float64() - 0.5) * 16
+			}
+			args = append(args, interp.FloatValue(v))
+		case mlir.RankedTensorType:
+			if mlir.IsFloat(tt.Elem) {
+				tensor := interp.NewFloatTensor(tt.Shape...)
+				for j := range tensor.F {
+					tensor.F[j] = rng.Float64() // non-negative: see matmul policy
+				}
+				args = append(args, interp.TensorValue(tensor))
+			} else {
+				tensor := interp.NewIntTensor(tt.Shape...)
+				for j := range tensor.I {
+					tensor.I[j] = int64(rng.Intn(256))
+				}
+				args = append(args, interp.TensorValue(tensor))
+			}
+		default:
+			return nil, fmt.Errorf("cannot generate input %d of type %s", i, t)
+		}
+	}
+	return args, nil
+}

@@ -1,0 +1,44 @@
+package difftest
+
+import (
+	"testing"
+
+	"dialegg/internal/genmod"
+)
+
+var fuzzBundles = []string{"imgconv", "vecnorm", "poly", "matmul", "mixed"}
+
+// FuzzGeneratedModules is the native go-fuzz entry point: the fuzzer
+// mutates (seed, budget, bundle) triples, each of which deterministically
+// expands to a generated module and an oracle run. Run long campaigns
+// with:
+//
+//	go test -fuzz FuzzGeneratedModules -fuzztime 10m ./internal/difftest
+//
+// In plain `go test` runs only the seeded triples execute, which keeps
+// the tier-1 suite fast.
+func FuzzGeneratedModules(f *testing.F) {
+	for seed := int64(1); seed <= 5; seed++ {
+		f.Add(seed, uint8(14), uint8(seed%5))
+	}
+	f.Fuzz(func(t *testing.T, seed int64, budget uint8, bundleSel uint8) {
+		b, err := BundleFor(fuzzBundles[int(bundleSel)%len(fuzzBundles)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := genmod.Generate(genmod.Config{
+			Seed: seed, Ops: int(budget%32) + 1, Profile: b.Profile,
+		})
+		opts := b.Options()
+		opts.Inputs = 3
+		opts.InputSeed = seed
+		res, err := Check(src, opts)
+		if err != nil {
+			t.Fatalf("generator emitted an invalid module (seed %d): %v\n%s", seed, err, src)
+		}
+		if res.Failure != nil {
+			t.Fatalf("bundle %s seed %d: %s\n--- original\n%s\n--- optimized\n%s",
+				b.Name, seed, res.Failure, res.Failure.Original, res.Failure.Optimized)
+		}
+	})
+}

@@ -1,0 +1,319 @@
+package difftest
+
+import (
+	"fmt"
+
+	"dialegg/internal/dialects"
+	"dialegg/internal/mlir"
+)
+
+// Minimize greedily shrinks a failing module: it repeatedly applies the
+// smallest structure-removing mutation that keeps fails(candidate) true,
+// until no mutation makes progress (a 1-minimal repro under the move
+// set). The move set:
+//
+//   - rewire-and-delete: replace every use of an op's results with a
+//     dominating same-type value (one of the op's own operands, a
+//     function argument, or — for loops — the corresponding iter_args
+//     init), then drop the op and anything it transitively made dead.
+//     Deleting an scf.for or scf.if this way deletes its whole region.
+//   - constant-shrink: pull arith.constant payloads toward 0, 1, or
+//     half — small divisors and trip counts read better in repros.
+//
+// Every candidate is re-parsed, re-verified, and re-judged through
+// fails, so the result is always a valid module that still fails.
+// fails must be deterministic; Check with fixed options is.
+func Minimize(src string, fails func(string) bool) (string, error) {
+	reg := dialects.NewRegistry()
+	if _, err := mlir.ParseModule(src, reg); err != nil {
+		return "", fmt.Errorf("minimize: input does not parse: %w", err)
+	}
+	if !fails(src) {
+		return "", fmt.Errorf("minimize: input does not fail the predicate")
+	}
+	cur := src
+	for {
+		improved := false
+		for _, cand := range candidates(cur, reg) {
+			if validCandidate(cand, reg) && fails(cand) {
+				cur = cand
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			return cur, nil
+		}
+	}
+}
+
+func validCandidate(src string, reg *mlir.Registry) bool {
+	m, err := mlir.ParseModule(src, reg)
+	if err != nil {
+		return false
+	}
+	return reg.Verify(m.Op) == nil
+}
+
+// CountOps counts the operations of a module, excluding pure structure
+// (the module shell, func.func, and terminators). This is the size the
+// "shrunk to N ops" acceptance numbers refer to.
+func CountOps(m *mlir.Module) int {
+	n := 0
+	m.Walk(func(op *mlir.Operation) bool {
+		switch op.Name {
+		case "builtin.module", "func.func", "func.return", "scf.yield", "scf.condition":
+		default:
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// CountOpsSrc is CountOps on source text (-1 if it does not parse).
+func CountOpsSrc(src string) int {
+	m, err := mlir.ParseModule(src, dialects.NewRegistry())
+	if err != nil {
+		return -1
+	}
+	return CountOps(m)
+}
+
+// opSite addresses one op in a parsed module by its position.
+type opSite struct {
+	block *mlir.Block
+	idx   int
+	op    *mlir.Operation
+}
+
+// sites lists every non-terminator op in the module, innermost and
+// latest first — peeling from the back shrinks dependency chains fastest.
+func sites(m *mlir.Module) []opSite {
+	var out []opSite
+	var walkBlock func(b *mlir.Block)
+	walkBlock = func(b *mlir.Block) {
+		for i, op := range b.Ops {
+			for _, r := range op.Regions {
+				for _, nb := range r.Blocks {
+					walkBlock(nb)
+				}
+			}
+			switch op.Name {
+			case "func.return", "scf.yield", "scf.condition", "func.func", "builtin.module":
+			default:
+				out = append(out, opSite{block: b, idx: i, op: op})
+			}
+		}
+	}
+	for _, f := range m.Funcs() {
+		for _, r := range f.Regions {
+			for _, b := range r.Blocks {
+				walkBlock(b)
+			}
+		}
+	}
+	// Reverse: latest sites first.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// candidates prints every single-mutation neighbor of src, best
+// (most-removing) moves first.
+func candidates(src string, reg *mlir.Registry) []string {
+	var out []string
+	base, err := mlir.ParseModule(src, reg)
+	if err != nil {
+		return nil
+	}
+	n := len(sites(base))
+	for i := 0; i < n; i++ {
+		for variant := 0; ; variant++ {
+			m := base.Clone()
+			ss := sites(m)
+			if i >= len(ss) {
+				break
+			}
+			ok, more := rewireAndDelete(m, ss[i], variant)
+			if ok {
+				out = append(out, mlir.PrintModuleCanonical(m, reg))
+			}
+			if !more {
+				break
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for variant := 0; variant < 3; variant++ {
+			m := base.Clone()
+			ss := sites(m)
+			if i >= len(ss) {
+				break
+			}
+			if shrinkConstant(ss[i].op, variant) {
+				out = append(out, mlir.PrintModuleCanonical(m, reg))
+			}
+		}
+	}
+	return out
+}
+
+// replacementsFor lists dominating same-type substitutes for result r of
+// op at site s: the op's own operands, then the enclosing function's
+// entry arguments. For scf.for results, the matching iter_args init
+// (operand 3+i) is the natural substitute and is listed first.
+func replacementsFor(s opSite, r int) []*mlir.Value {
+	res := s.op.Results[r]
+	var cands []*mlir.Value
+	if s.op.Name == "scf.for" && 3+r < len(s.op.Operands) {
+		cands = append(cands, s.op.Operands[3+r])
+	}
+	for _, o := range s.op.Operands {
+		if typeEq(o.Typ, res.Typ) {
+			cands = append(cands, o)
+		}
+	}
+	for b := s.block; b != nil; {
+		parentOp := b.ParentRegion.ParentOp
+		if parentOp == nil {
+			break
+		}
+		if parentOp.Name == "func.func" {
+			for _, a := range parentOp.Regions[0].First().Args {
+				if typeEq(a.Typ, res.Typ) {
+					cands = append(cands, a)
+				}
+			}
+			break
+		}
+		b = parentOp.ParentBlock
+	}
+	return cands
+}
+
+func typeEq(a, b mlir.Type) bool { return a != nil && b != nil && a.String() == b.String() }
+
+// rewireAndDelete replaces all uses of the site's results with the
+// variant-th replacement tuple, deletes the op, and sweeps newly dead
+// ops. Returns (mutation applied, more variants exist).
+func rewireAndDelete(m *mlir.Module, s opSite, variant int) (bool, bool) {
+	// Each result picks its variant-th replacement; results with fewer
+	// options reuse their last. The variant space is the max option count.
+	maxOpts := 0
+	repl := make([]*mlir.Value, len(s.op.Results))
+	for r := range s.op.Results {
+		opts := replacementsFor(s, r)
+		if len(opts) == 0 {
+			if used(m, s.op.Results[r]) {
+				return false, false // an irreplaceable live result
+			}
+			continue
+		}
+		if len(opts) > maxOpts {
+			maxOpts = len(opts)
+		}
+		repl[r] = opts[min(variant, len(opts)-1)]
+	}
+	if variant >= maxOpts && variant > 0 {
+		return false, false
+	}
+	for r, v := range s.op.Results {
+		if repl[r] != nil {
+			replaceUses(m, v, repl[r])
+		}
+	}
+	removeOp(s)
+	sweepDead(m)
+	return true, variant+1 < maxOpts
+}
+
+func used(m *mlir.Module, v *mlir.Value) bool {
+	found := false
+	m.Walk(func(op *mlir.Operation) bool {
+		for _, o := range op.Operands {
+			if o == v {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func replaceUses(m *mlir.Module, old, new *mlir.Value) {
+	m.Walk(func(op *mlir.Operation) bool {
+		for i, o := range op.Operands {
+			if o == old {
+				op.Operands[i] = new
+			}
+		}
+		return true
+	})
+}
+
+func removeOp(s opSite) {
+	b := s.block
+	if s.idx < len(b.Ops) && b.Ops[s.idx] == s.op {
+		b.Ops = append(b.Ops[:s.idx], b.Ops[s.idx+1:]...)
+	}
+}
+
+// sweepDead removes ops none of whose results are used, repeatedly.
+// Everything the generator and the shrinker produce is side-effect free,
+// so liveness is purely use-count.
+func sweepDead(m *mlir.Module) {
+	for {
+		removed := false
+		for _, s := range sites(m) {
+			live := false
+			for _, r := range s.op.Results {
+				if used(m, r) {
+					live = true
+					break
+				}
+			}
+			if !live && len(s.op.Results) > 0 {
+				removeOp(s)
+				removed = true
+				break // site indices are stale after a removal
+			}
+		}
+		if !removed {
+			return
+		}
+	}
+}
+
+// shrinkConstant rewrites an arith.constant payload toward 0, 1, or
+// half. Returns false when the variant does not change the value.
+func shrinkConstant(op *mlir.Operation, variant int) bool {
+	if op.Name != "arith.constant" {
+		return false
+	}
+	a, ok := op.GetAttr("value")
+	if !ok {
+		return false
+	}
+	switch at := a.(type) {
+	case mlir.IntegerAttr:
+		targets := []int64{0, 1, at.Value / 2}
+		t := targets[variant]
+		if t == at.Value {
+			return false
+		}
+		op.SetAttr("value", mlir.IntegerAttr{Value: t, Type: at.Type})
+		return true
+	case mlir.FloatAttr:
+		targets := []float64{0, 1, at.Value / 2}
+		t := targets[variant]
+		if t == at.Value {
+			return false
+		}
+		op.SetAttr("value", mlir.FloatAttr{Value: t, Type: at.Type})
+		return true
+	}
+	return false
+}

@@ -1,0 +1,130 @@
+package difftest
+
+import (
+	"strings"
+	"testing"
+
+	"dialegg/internal/genmod"
+	"dialegg/internal/rules"
+)
+
+// failsWith builds the shrinker predicate: the module must draw a
+// failure of the given kind under the options. Deterministic because
+// Check is.
+func failsWith(opts Options, kind string) func(string) bool {
+	return func(src string) bool {
+		res, err := Check(src, opts)
+		return err == nil && res.Failure != nil && res.Failure.Kind == kind
+	}
+}
+
+// TestShrinkUnsoundDivPow2 is the acceptance path from the issue: fuzz
+// until the deliberately unsound §7.2 rule produces a mismatch, then
+// shrink the failing module to a <=10-op repro that still fails.
+func TestShrinkUnsoundDivPow2(t *testing.T) {
+	b, err := BundleFor("imgconv-unsound")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := b.Options()
+	fails := failsWith(opts, "mismatch")
+
+	var failing string
+	for seed := int64(1); seed <= 60; seed++ {
+		src := genmod.Generate(genmod.Config{Seed: seed, Ops: 14, Profile: b.Profile})
+		if fails(src) {
+			failing = src
+			break
+		}
+	}
+	if failing == "" {
+		t.Fatal("no generated module exposed the unsound rule in 60 seeds")
+	}
+	before := CountOpsSrc(failing)
+
+	min, err := Minimize(failing, fails)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := CountOpsSrc(min)
+	t.Logf("shrunk %d ops -> %d ops:\n%s", before, after, min)
+	if !fails(min) {
+		t.Fatal("minimized module no longer fails")
+	}
+	if after > 10 {
+		t.Errorf("repro has %d ops, want <= 10:\n%s", after, min)
+	}
+	if after >= before {
+		t.Errorf("shrinker made no progress: %d -> %d", before, after)
+	}
+	// The essence must survive: a signed division (the rewrite target).
+	if !strings.Contains(min, "arith.divsi") {
+		t.Errorf("minimized repro lost the divsi under test:\n%s", min)
+	}
+}
+
+// TestShrinkTestOnlyUnsoundRule: a second, structurally different
+// deliberately unsound rule — muli rewritten to addi, which extraction
+// always prefers (cost 30 vs 10) — must also be caught and shrink to a
+// tiny repro. This guards the oracle+shrinker pair against overfitting
+// to the div-pow2 shape.
+func TestShrinkTestOnlyUnsoundRule(t *testing.T) {
+	bogus := `(rewrite (arith_muli ?a ?b ?t) (arith_addi ?a ?b ?t) :name "bogus-mul-is-add")` + "\n"
+	opts := Options{Rules: []string{rules.ArithCore, bogus}}
+	fails := failsWith(opts, "mismatch")
+
+	profile := genmod.ProfileFor("imgconv")
+	var failing string
+	for seed := int64(1); seed <= 40; seed++ {
+		src := genmod.Generate(genmod.Config{Seed: seed, Ops: 12, Profile: profile})
+		if fails(src) {
+			failing = src
+			break
+		}
+	}
+	if failing == "" {
+		t.Fatal("no generated module exposed the bogus mul-is-add rule in 40 seeds")
+	}
+	min, err := Minimize(failing, fails)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := CountOpsSrc(min)
+	t.Logf("shrunk to %d ops:\n%s", after, min)
+	if after > 4 {
+		t.Errorf("mul-is-add should shrink to a near-minimal repro, got %d ops:\n%s", after, min)
+	}
+	if !strings.Contains(min, "arith.muli") {
+		t.Errorf("minimized repro lost the muli under test:\n%s", min)
+	}
+}
+
+// TestMinimizeRejectsPassingInput: the shrinker refuses a module that
+// does not fail — silently "minimizing" a healthy module hides bugs in
+// the caller's predicate.
+func TestMinimizeRejectsPassingInput(t *testing.T) {
+	b, _ := BundleFor("imgconv")
+	src := `
+func.func @ok(%a: i64) -> i64 {
+  func.return %a : i64
+}`
+	if _, err := Minimize(src, failsWith(b.Options(), "mismatch")); err == nil {
+		t.Error("Minimize accepted a non-failing module")
+	}
+}
+
+// TestCountOps: structural ops don't count.
+func TestCountOps(t *testing.T) {
+	src := `
+func.func @f(%a: i64) -> i64 {
+  %c = arith.constant 2 : i64
+  %m = arith.muli %a, %c : i64
+  func.return %m : i64
+}`
+	if n := CountOpsSrc(src); n != 2 {
+		t.Errorf("CountOpsSrc = %d, want 2", n)
+	}
+	if CountOpsSrc("not mlir") != -1 {
+		t.Errorf("unparseable source must count as -1")
+	}
+}

@@ -1,0 +1,9 @@
+// egg-fuzz corpus entry
+// bundle: imgconv-unsound
+// expect: fail
+// note: same module as div_pow2_trunc.mlir under the paper's literal §7.2 rule — pins the oracle's detection power: this entry must KEEP failing
+func.func @fuzz(%a: i64, %b: i64, %c: i64) -> i64 {
+  %p = arith.constant 2 : i64
+  %d = arith.divsi %a, %p : i64
+  func.return %d : i64
+}

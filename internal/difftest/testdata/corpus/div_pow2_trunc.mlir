@@ -1,0 +1,9 @@
+// egg-fuzz corpus entry
+// bundle: imgconv
+// expect: pass
+// note: minimized from genmod seed 4 (2026-08-08); negative dividend divsi-by-pow2 — the §7.2 floor-vs-truncate repro, sound under DivPow2Sound
+func.func @fuzz(%a: i64, %b: i64, %c: i64) -> i64 {
+  %p = arith.constant 2 : i64
+  %d = arith.divsi %a, %p : i64
+  func.return %d : i64
+}

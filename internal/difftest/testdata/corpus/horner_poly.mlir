@@ -1,0 +1,11 @@
+// egg-fuzz corpus entry
+// bundle: poly
+// expect: pass
+// note: quadratic in expanded form; Horner reassociation changes rounding, covered by the poly tolerance (rel 1e-6, abs 1e-9)
+func.func @p(%x: f64, %a: f64, %b: f64) -> f64 {
+  %x2 = arith.mulf %x, %x : f64
+  %t0 = arith.mulf %a, %x2 : f64
+  %t1 = arith.mulf %b, %x : f64
+  %s = arith.addf %t0, %t1 : f64
+  func.return %s : f64
+}

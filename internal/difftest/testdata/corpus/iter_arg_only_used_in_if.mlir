@@ -1,0 +1,29 @@
+// egg-fuzz corpus entry
+// bundle: poly
+// expect: pass
+// note: poly seed 44 (egg-fuzz -rules poly -seed 44): the scf.for body uses its iter_arg only inside the nested scf.if region, so no depth-0 leaf identifies the loop's own block; rebuild used to fall back to unbound convention arguments and fail on the captured iter_arg — fixed by anchoring region rebinding positionally to the original op
+module {
+  func.func @fuzz(%0: f64, %1: f64, %2: f64) -> f64 {
+    %3 = arith.cmpf oeq, %2, %1 : f64
+    %4 = arith.select %3, %1, %2 : f64
+    %5 = arith.constant 0 : index
+    %6 = arith.constant 3 : index
+    %7 = arith.constant 2 : index
+    %8 = scf.for %9 = %5 to %6 step %7 iter_args(%10 = %4) -> (f64) {
+      %11 = arith.negf %1 : f64
+      %12 = scf.if %3 -> (f64) {
+        scf.yield %1 : f64
+      } else {
+        %13 = arith.addf %10, %0 : f64
+        scf.yield %4 : f64
+      }
+      %14 = arith.constant -0.187087701908877 : f64
+      %15 = arith.divf %2, %12 : f64
+      scf.yield %12 : f64
+    }
+    %16 = arith.cmpf ult, %4, %4 : f64
+    %17 = arith.select %16, %2, %0 : f64
+    %18 = arith.addf %0, %4 : f64
+    func.return %18 : f64
+  }
+}

@@ -1,0 +1,17 @@
+// egg-fuzz corpus entry
+// bundle: mixed
+// expect: pass
+// note: scf.for with iter_args flows through the opaque path; the divsi inside the region must keep AArch64 semantics end to end
+func.func @loop(%a: i64, %b: i64, %c: i64) -> i64 {
+  %c0 = arith.constant 0 : index
+  %c4 = arith.constant 4 : index
+  %c1 = arith.constant 1 : index
+  %c8 = arith.constant 8 : i64
+  %r = scf.for %i = %c0 to %c4 step %c1 iter_args(%acc = %a) -> (i64) {
+    %d = arith.divsi %acc, %c8 : i64
+    %s = arith.addi %d, %b : i64
+    scf.yield %s : i64
+  }
+  %q = arith.divsi %r, %c : i64
+  func.return %q : i64
+}

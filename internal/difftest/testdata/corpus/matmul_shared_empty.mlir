@@ -1,0 +1,11 @@
+// egg-fuzz corpus entry
+// bundle: matmul
+// expect: pass
+// note: found by the first fuzz sweep (2026-08-08): extraction CSEs the two identical tensor.empty() terms, so the interpreter must not update outs buffers destructively (aliasing repro for the linalg fresh-output fix)
+func.func @chain(%a: tensor<4x4xf64>, %b: tensor<4x4xf64>, %x: f64) -> tensor<4x4xf64> {
+  %e1 = tensor.empty() : tensor<4x4xf64>
+  %m1 = linalg.matmul ins(%a, %b : tensor<4x4xf64>, tensor<4x4xf64>) outs(%e1 : tensor<4x4xf64>) -> tensor<4x4xf64>
+  %e2 = tensor.empty() : tensor<4x4xf64>
+  %m2 = linalg.matmul ins(%b, %m1 : tensor<4x4xf64>, tensor<4x4xf64>) outs(%e2 : tensor<4x4xf64>) -> tensor<4x4xf64>
+  func.return %m2 : tensor<4x4xf64>
+}

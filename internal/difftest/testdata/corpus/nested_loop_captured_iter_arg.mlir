@@ -1,0 +1,18 @@
+// egg-fuzz corpus entry
+// bundle: poly
+// expect: pass
+// note: minimized from poly seed 19 (egg-fuzz -rules poly -seed 19): a dead op in the inner loop captures the outer loop's iter_arg, which used to fool findOriginalBlock into binding the rebuilt inner block to the original outer block (same parent op name, same arg shapes), leaving the inner iter_arg unbound during rebuild
+module {
+  func.func @fuzz(%x: f64) -> f64 {
+    %c0 = arith.constant 0 : index
+    %c1 = arith.constant 1 : index
+    %r = scf.for %i = %c0 to %c1 step %c1 iter_args(%a = %x) -> (f64) {
+      %inner = scf.for %j = %c0 to %c1 step %c1 iter_args(%b = %x) -> (f64) {
+        %dead = arith.addf %x, %a : f64
+        scf.yield %b : f64
+      }
+      scf.yield %inner : f64
+    }
+    func.return %r : f64
+  }
+}

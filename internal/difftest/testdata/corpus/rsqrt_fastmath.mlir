@@ -1,0 +1,10 @@
+// egg-fuzz corpus entry
+// bundle: vecnorm
+// expect: pass
+// note: the §7.3 fastmath 1/sqrt idiom; exercises the fast_inv_sqrt intrinsic tolerance (rel 0.5%) and the non-finite exemption at x <= 0
+func.func @rs(%x: f64) -> f64 {
+  %one = arith.constant 1.0 : f64
+  %s = math.sqrt %x fastmath<fast> : f64
+  %r = arith.divf %one, %s fastmath<fast> : f64
+  func.return %r : f64
+}

@@ -1,0 +1,648 @@
+// Package genmod generates random MLIR modules for differential testing.
+// The generator is seeded and fully deterministic: the same Config always
+// yields byte-identical output, which is what makes fuzz verdicts
+// reproducible (`egg-fuzz -seed S` re-creates the exact module stream) and
+// lets the checked-in corpus pin regressions as plain seeds.
+//
+// Generated modules are restricted, by construction, to the subset the
+// execution substrate (internal/interp) defines completely: arith and math
+// scalar ops on i64/f64/i1, scf.for loops with iter_args (including
+// zero-trip-count loops), scf.if with both branches, and fixed-shape f64
+// tensor chains through linalg.matmul. Every generated program is total —
+// division by zero is architecturally defined (see interp.divARM), shift
+// amounts are masked, tensor indices are generated in bounds — so the
+// differential oracle (internal/difftest) never has to discard an input.
+//
+// Op selection is rule-set aware: a Profile weights the generator toward
+// the shapes a rule bundle actually rewrites (powers of two as divisors
+// for the §7.2 rule, fastmath 1/sqrt idioms for §7.3, matmul chains for
+// §7.4), so saturation has real targets instead of rewriting nothing.
+package genmod
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// Profile selects the op families the generator draws from and the idioms
+// it deliberately plants. Use ProfileFor to get the profile matching a
+// bundled rule set.
+type Profile struct {
+	// Name labels the profile in reports and corpus headers.
+	Name string
+	// Int enables i64 arithmetic (add/sub/mul/min/max).
+	Int bool
+	// Bitwise enables and/or/xor and shifts with masked amounts.
+	Bitwise bool
+	// DivRem enables divsi/remsi (total under AArch64 semantics).
+	DivRem bool
+	// PowTwoBias biases constant divisors toward powers of two, the §7.2
+	// rewrite target.
+	PowTwoBias bool
+	// Float enables f64 arithmetic (add/sub/mul/div/min/max/neg/abs).
+	Float bool
+	// Sqrt enables math.sqrt and the planted fastmath 1/sqrt idiom the
+	// §7.3 rule rewrites into a @fast_inv_sqrt call.
+	Sqrt bool
+	// FastMath stamps fastmath<fast> on a fraction of float ops.
+	FastMath bool
+	// CmpSelect enables cmpi/cmpf + arith.select.
+	CmpSelect bool
+	// Casts enables arith.sitofp and index_cast of the induction variable.
+	Casts bool
+	// Loops enables scf.for with iter_args (trip counts include zero).
+	Loops bool
+	// If enables scf.if with else over generated conditions.
+	If bool
+	// Tensors enables tensor<4x4xf64> function arguments and
+	// tensor.empty/linalg.matmul/linalg.fill/tensor.extract chains, the
+	// §7.4 associativity target.
+	Tensors bool
+}
+
+// ProfileFor returns the generation profile matched to a bundled rule
+// set's rewrite targets. Unknown names (and "") get the mixed profile.
+func ProfileFor(ruleSet string) Profile {
+	switch ruleSet {
+	case "imgconv":
+		// Integer pipeline: constant folding + div-by-pow2.
+		return Profile{Name: "imgconv", Int: true, Bitwise: true, DivRem: true,
+			PowTwoBias: true, CmpSelect: true, Casts: true, Loops: true, If: true}
+	case "vecnorm":
+		// Float pipeline: fastmath 1/sqrt -> fast_inv_sqrt.
+		return Profile{Name: "vecnorm", Float: true, Sqrt: true, FastMath: true,
+			CmpSelect: true, Loops: true, If: true}
+	case "poly":
+		// Float pipeline: Horner reassociation over mulf/addf chains.
+		return Profile{Name: "poly", Float: true, CmpSelect: true, Loops: true, If: true}
+	case "matmul":
+		// Tensor pipeline: matmul chain associativity.
+		return Profile{Name: "matmul", Float: true, Tensors: true}
+	default:
+		return Profile{Name: "mixed", Int: true, Bitwise: true, DivRem: true,
+			PowTwoBias: true, Float: true, Sqrt: true, FastMath: true,
+			CmpSelect: true, Casts: true, Loops: true, If: true}
+	}
+}
+
+// Config parameterizes one generated module.
+type Config struct {
+	// Seed drives all randomness; equal configs generate equal text.
+	Seed int64
+	// Ops is the op budget: generation stops once this many operations
+	// (constants, compute ops, and region ops with their bodies) have been
+	// emitted. Defaults to 12.
+	Ops int
+	// Profile selects op families; the zero Profile means mixed.
+	Profile Profile
+	// FuncName is the generated function's symbol (default "fuzz").
+	FuncName string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Ops <= 0 {
+		c.Ops = 12
+	}
+	if c.Profile.Name == "" {
+		c.Profile = ProfileFor("")
+	}
+	if c.FuncName == "" {
+		c.FuncName = "fuzz"
+	}
+	return c
+}
+
+// tensorType is the fixed shape every tensor value uses, keeping any
+// matmul chain composable without shape inference.
+const tensorType = "tensor<4x4xf64>"
+
+type gen struct {
+	cfg    Config
+	p      Profile
+	rng    *rand.Rand
+	body   strings.Builder
+	indent string
+	budget int
+	names  int
+	depth  int // region nesting depth
+	// pools maps a type string to the in-scope SSA names of that type.
+	pools map[string][]string
+}
+
+// poolTypes is the fixed key order for deterministic pool iteration.
+var poolTypes = []string{"i64", "f64", "i1", "index", tensorType}
+
+// Generate renders one random module as MLIR text. The output always
+// parses, verifies, and executes: see the package comment for the exact
+// subset. Generation is deterministic in cfg.
+func Generate(cfg Config) string {
+	cfg = cfg.withDefaults()
+	g := &gen{
+		cfg:    cfg,
+		p:      cfg.Profile,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		indent: "  ",
+		budget: cfg.Ops,
+		pools:  make(map[string][]string),
+	}
+	args := g.signature()
+	for g.budget > 0 {
+		g.emitRandomOp()
+	}
+	retNames, retTypes := g.pickReturns()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "// genmod seed=%d profile=%s ops=%d\n", cfg.Seed, g.p.Name, cfg.Ops)
+	fmt.Fprintf(&b, "func.func @%s(%s) -> (%s) {\n", cfg.FuncName,
+		strings.Join(args, ", "), strings.Join(retTypes, ", "))
+	b.WriteString(g.body.String())
+	fmt.Fprintf(&b, "  func.return %s : %s\n}\n",
+		strings.Join(retNames, ", "), strings.Join(retTypes, ", "))
+	return b.String()
+}
+
+// signature seeds the argument pools and returns the printed parameter
+// list. The shape depends only on the profile, so the oracle can generate
+// inputs from the parsed function type.
+func (g *gen) signature() []string {
+	var args []string
+	add := func(name, typ string) {
+		args = append(args, fmt.Sprintf("%%%s: %s", name, typ))
+		g.pools[typ] = append(g.pools[typ], "%"+name)
+	}
+	if g.p.Tensors {
+		add("ta", tensorType)
+		add("tb", tensorType)
+		add("x", "f64")
+		return args
+	}
+	if g.p.Int {
+		add("a", "i64")
+		add("b", "i64")
+		add("c", "i64")
+	}
+	if g.p.Float {
+		add("x", "f64")
+		add("y", "f64")
+		if !g.p.Int {
+			add("z", "f64")
+		}
+	}
+	return args
+}
+
+func (g *gen) newName() string {
+	g.names++
+	return fmt.Sprintf("%%v%d", g.names)
+}
+
+// emit writes one op line and charges the budget.
+func (g *gen) emit(format string, a ...any) {
+	g.body.WriteString(g.indent)
+	fmt.Fprintf(&g.body, format, a...)
+	g.body.WriteByte('\n')
+	g.budget--
+}
+
+func (g *gen) define(name, typ string) {
+	g.pools[typ] = append(g.pools[typ], name)
+}
+
+// pick returns an in-scope value of the type, materializing a constant
+// when the pool is empty.
+func (g *gen) pick(typ string) string {
+	pool := g.pools[typ]
+	if len(pool) == 0 {
+		return g.emitConst(typ)
+	}
+	return pool[g.rng.Intn(len(pool))]
+}
+
+// fmtFloat renders a float literal the parser reads back as f64.
+func fmtFloat(v float64) string {
+	s := strconv.FormatFloat(v, 'g', -1, 64)
+	if !strings.ContainsAny(s, ".eE") && !strings.Contains(s, "Inf") && !strings.Contains(s, "NaN") {
+		s += ".0"
+	}
+	return s
+}
+
+func (g *gen) emitConst(typ string) string {
+	name := g.newName()
+	switch typ {
+	case "i64":
+		g.emit("%s = arith.constant %d : i64", name, g.randInt())
+	case "f64":
+		g.emit("%s = arith.constant %s : f64", name, fmtFloat(g.randFloat()))
+	case "index":
+		g.emit("%s = arith.constant %d : index", name, g.rng.Intn(7))
+	case "i1":
+		// i1 "constants" come from a comparison so every boolean has an
+		// arith source the rules can reason about.
+		lhs, rhs := g.pick("i64"), g.pick("i64")
+		g.emit("%s = arith.cmpi sle, %s, %s : i64", name, lhs, rhs)
+	default: // tensor
+		g.emit("%s = tensor.empty() : %s", name, tensorType)
+	}
+	g.define(name, typ)
+	return name
+}
+
+func (g *gen) randInt() int64 {
+	switch g.rng.Intn(6) {
+	case 0:
+		return int64(g.rng.Intn(5)) // 0..4
+	case 1:
+		return 1 << uint(g.rng.Intn(10)+1) // power of two
+	case 2:
+		return -int64(g.rng.Intn(100))
+	case 3:
+		return int64(g.rng.Intn(100))
+	case 4:
+		return g.rng.Int63n(1<<32) - (1 << 31)
+	default:
+		return 1
+	}
+}
+
+func (g *gen) randFloat() float64 {
+	switch g.rng.Intn(5) {
+	case 0:
+		return float64(g.rng.Intn(9)) / 2.0 // 0, 0.5, ..., 4
+	case 1:
+		return 1
+	case 2:
+		return -g.rng.Float64() * 4
+	default:
+		return g.rng.Float64() * 8
+	}
+}
+
+// production is one weighted generation rule.
+type production struct {
+	weight  int
+	minOps  int // budget needed
+	emit    func()
+	enabled bool
+}
+
+func (g *gen) emitRandomOp() {
+	prods := g.productions()
+	total := 0
+	for _, p := range prods {
+		if p.enabled && g.budget >= p.minOps {
+			total += p.weight
+		}
+	}
+	if total == 0 {
+		// Budget too small for anything structured: emit a constant.
+		if g.p.Float && !g.p.Int {
+			g.emitConst("f64")
+		} else if g.p.Tensors {
+			g.emitConst("f64")
+		} else {
+			g.emitConst("i64")
+		}
+		return
+	}
+	n := g.rng.Intn(total)
+	for _, p := range prods {
+		if !p.enabled || g.budget < p.minOps {
+			continue
+		}
+		n -= p.weight
+		if n < 0 {
+			p.emit()
+			return
+		}
+	}
+}
+
+func (g *gen) productions() []production {
+	p := g.p
+	return []production{
+		{weight: 5, minOps: 1, enabled: p.Int, emit: g.intBinary},
+		{weight: 2, minOps: 2, enabled: p.Int && p.DivRem, emit: g.divRem},
+		{weight: 2, minOps: 2, enabled: p.Int && p.Bitwise, emit: g.shift},
+		{weight: 1, minOps: 1, enabled: p.Int, emit: func() { g.emitConst("i64") }},
+		{weight: 5, minOps: 1, enabled: p.Float, emit: g.floatBinary},
+		{weight: 2, minOps: 1, enabled: p.Float, emit: g.floatUnary},
+		{weight: 1, minOps: 1, enabled: p.Float, emit: func() { g.emitConst("f64") }},
+		{weight: 2, minOps: 3, enabled: p.Float && p.Sqrt && p.FastMath, emit: g.rsqrtIdiom},
+		{weight: 2, minOps: 2, enabled: p.CmpSelect && p.Int, emit: g.cmpSelectInt},
+		{weight: 2, minOps: 2, enabled: p.CmpSelect && p.Float, emit: g.cmpSelectFloat},
+		{weight: 1, minOps: 1, enabled: p.Casts && p.Int && p.Float, emit: g.sitofp},
+		{weight: 3, minOps: 6, enabled: p.Loops && g.depth < 2, emit: g.forLoop},
+		{weight: 2, minOps: 4, enabled: p.If && g.depth < 2, emit: g.ifOp},
+		{weight: 5, minOps: 2, enabled: p.Tensors, emit: g.matmulStep},
+		{weight: 2, minOps: 1, enabled: p.Tensors, emit: g.tensorMisc},
+	}
+}
+
+func (g *gen) fastmath() string {
+	if g.p.FastMath && g.rng.Intn(3) == 0 {
+		return " fastmath<fast>"
+	}
+	return ""
+}
+
+func (g *gen) intBinary() {
+	ops := []string{"arith.addi", "arith.subi", "arith.muli", "arith.maxsi", "arith.minsi"}
+	if g.p.Bitwise {
+		ops = append(ops, "arith.andi", "arith.ori", "arith.xori")
+	}
+	op := ops[g.rng.Intn(len(ops))]
+	name := g.newName()
+	g.emit("%s = %s %s, %s : i64", name, op, g.pick("i64"), g.pick("i64"))
+	g.define(name, "i64")
+}
+
+func (g *gen) divRem() {
+	op := "arith.divsi"
+	if g.rng.Intn(3) == 0 {
+		op = "arith.remsi"
+	}
+	lhs := g.pick("i64")
+	var rhs string
+	if g.rng.Intn(4) == 0 {
+		rhs = g.pick("i64") // variable divisor: may be zero — defined as 0/x
+	} else {
+		d := int64(g.rng.Intn(99) + 1)
+		if g.p.PowTwoBias && g.rng.Intn(2) == 0 {
+			d = 1 << uint(g.rng.Intn(9)+1) // §7.2 rewrite target
+		}
+		c := g.newName()
+		g.emit("%s = arith.constant %d : i64", c, d)
+		g.define(c, "i64")
+		rhs = c
+	}
+	name := g.newName()
+	g.emit("%s = %s %s, %s : i64", name, op, lhs, rhs)
+	g.define(name, "i64")
+}
+
+func (g *gen) shift() {
+	op := "arith.shli"
+	if g.rng.Intn(2) == 0 {
+		op = "arith.shrsi"
+	}
+	c := g.newName()
+	g.emit("%s = arith.constant %d : i64", c, g.rng.Intn(63))
+	g.define(c, "i64")
+	name := g.newName()
+	g.emit("%s = %s %s, %s : i64", name, op, g.pick("i64"), c)
+	g.define(name, "i64")
+}
+
+func (g *gen) floatBinary() {
+	ops := []string{"arith.addf", "arith.subf", "arith.mulf", "arith.divf",
+		"arith.maximumf", "arith.minimumf"}
+	op := ops[g.rng.Intn(len(ops))]
+	name := g.newName()
+	g.emit("%s = %s %s, %s%s : f64", name, op, g.pick("f64"), g.pick("f64"), g.fastmath())
+	g.define(name, "f64")
+}
+
+func (g *gen) floatUnary() {
+	name := g.newName()
+	switch n := g.rng.Intn(3); {
+	case n == 0 && g.p.Sqrt:
+		g.emit("%s = math.sqrt %s%s : f64", name, g.pick("f64"), g.fastmath())
+	case n == 1:
+		g.emit("%s = math.absf %s : f64", name, g.pick("f64"))
+	default:
+		g.emit("%s = arith.negf %s : f64", name, g.pick("f64"))
+	}
+	g.define(name, "f64")
+}
+
+// rsqrtIdiom plants the §7.3 target: fastmath 1.0 / sqrt(x).
+func (g *gen) rsqrtIdiom() {
+	one := g.newName()
+	g.emit("%s = arith.constant 1.0 : f64", one)
+	g.define(one, "f64")
+	s := g.newName()
+	g.emit("%s = math.sqrt %s fastmath<fast> : f64", s, g.pick("f64"))
+	g.define(s, "f64")
+	r := g.newName()
+	g.emit("%s = arith.divf %s, %s fastmath<fast> : f64", r, one, s)
+	g.define(r, "f64")
+}
+
+var cmpIPreds = []string{"eq", "ne", "slt", "sle", "sgt", "sge", "ult", "ule", "ugt", "uge"}
+var cmpFPreds = []string{"oeq", "ogt", "oge", "olt", "ole", "one", "ueq", "ult", "ule", "une"}
+
+func (g *gen) cmpSelectInt() {
+	c := g.newName()
+	g.emit("%s = arith.cmpi %s, %s, %s : i64", c, cmpIPreds[g.rng.Intn(len(cmpIPreds))],
+		g.pick("i64"), g.pick("i64"))
+	g.define(c, "i1")
+	name := g.newName()
+	g.emit("%s = arith.select %s, %s, %s : i64", name, c, g.pick("i64"), g.pick("i64"))
+	g.define(name, "i64")
+}
+
+func (g *gen) cmpSelectFloat() {
+	c := g.newName()
+	g.emit("%s = arith.cmpf %s, %s, %s : f64", c, cmpFPreds[g.rng.Intn(len(cmpFPreds))],
+		g.pick("f64"), g.pick("f64"))
+	g.define(c, "i1")
+	name := g.newName()
+	g.emit("%s = arith.select %s, %s, %s : f64", name, c, g.pick("f64"), g.pick("f64"))
+	g.define(name, "f64")
+}
+
+func (g *gen) sitofp() {
+	name := g.newName()
+	g.emit("%s = arith.sitofp %s : i64 to f64", name, g.pick("i64"))
+	g.define(name, "f64")
+}
+
+// scopeSnapshot records pool lengths so region-local values can be
+// dropped when the region closes.
+func (g *gen) scopeSnapshot() map[string]int {
+	s := make(map[string]int, len(poolTypes))
+	for _, t := range poolTypes {
+		s[t] = len(g.pools[t])
+	}
+	return s
+}
+
+func (g *gen) scopeRestore(s map[string]int) {
+	for _, t := range poolTypes {
+		g.pools[t] = g.pools[t][:s[t]]
+	}
+}
+
+// forLoop emits an scf.for with 1-2 iter_args and a small random body.
+// Trip counts include zero (lb >= ub), the defined empty loop.
+func (g *gen) forLoop() {
+	scalar := "i64"
+	if !g.p.Int {
+		scalar = "f64"
+	}
+	nIter := 1 + g.rng.Intn(2)
+	iterTypes := make([]string, nIter)
+	inits := make([]string, nIter)
+	for i := range iterTypes {
+		iterTypes[i] = scalar
+		if g.p.Int && g.p.Float && g.rng.Intn(3) == 0 {
+			iterTypes[i] = "f64"
+		}
+		inits[i] = g.pick(iterTypes[i])
+	}
+	lb := g.newName()
+	g.emit("%s = arith.constant 0 : index", lb)
+	ub := g.newName()
+	g.emit("%s = arith.constant %d : index", ub, g.rng.Intn(7)) // 0 => empty loop
+	st := g.newName()
+	g.emit("%s = arith.constant %d : index", st, 1+g.rng.Intn(2))
+
+	results := make([]string, nIter)
+	for i := range results {
+		results[i] = g.newName()
+	}
+	iv := fmt.Sprintf("%%i%d", g.names)
+	accs := make([]string, nIter)
+	var iterArgs []string
+	for i := range accs {
+		accs[i] = fmt.Sprintf("%%acc%d_%d", g.names, i)
+		iterArgs = append(iterArgs, fmt.Sprintf("%s = %s", accs[i], inits[i]))
+	}
+	g.body.WriteString(g.indent)
+	fmt.Fprintf(&g.body, "%s = scf.for %s = %s to %s step %s iter_args(%s) -> (%s) {\n",
+		strings.Join(results, ", "), iv, lb, ub, st,
+		strings.Join(iterArgs, ", "), strings.Join(iterTypes, ", "))
+	g.budget--
+
+	snap := g.scopeSnapshot()
+	outerIndent := g.indent
+	g.indent += "  "
+	g.depth++
+	g.define(iv, "index")
+	for i, a := range accs {
+		g.define(a, iterTypes[i])
+	}
+	if g.p.Casts && g.p.Int {
+		c := g.newName()
+		g.emit("%s = arith.index_cast %s : index to i64", c, iv)
+		g.define(c, "i64")
+	}
+	bodyOps := 2 + g.rng.Intn(3)
+	for i := 0; i < bodyOps && g.budget > 0; i++ {
+		g.emitRandomOp()
+	}
+	yields := make([]string, nIter)
+	for i := range yields {
+		yields[i] = g.pick(iterTypes[i])
+	}
+	g.body.WriteString(g.indent)
+	fmt.Fprintf(&g.body, "scf.yield %s : %s\n", strings.Join(yields, ", "), strings.Join(iterTypes, ", "))
+	g.depth--
+	g.indent = outerIndent
+	g.scopeRestore(snap)
+	g.body.WriteString(g.indent)
+	g.body.WriteString("}\n")
+	for i, r := range results {
+		g.define(r, iterTypes[i])
+	}
+}
+
+// ifOp emits an scf.if with else; each branch computes 0-1 ops then
+// yields an in-scope value.
+func (g *gen) ifOp() {
+	typ := "i64"
+	if !g.p.Int {
+		typ = "f64"
+	}
+	cond := g.pick("i1")
+	res := g.newName()
+	g.body.WriteString(g.indent)
+	fmt.Fprintf(&g.body, "%s = scf.if %s -> (%s) {\n", res, cond, typ)
+	g.budget--
+	outerIndent := g.indent
+	g.depth++
+	for b := 0; b < 2; b++ {
+		snap := g.scopeSnapshot()
+		g.indent = outerIndent + "  "
+		if g.rng.Intn(2) == 0 && g.budget > 0 {
+			g.emitRandomOp()
+		}
+		g.body.WriteString(g.indent)
+		fmt.Fprintf(&g.body, "scf.yield %s : %s\n", g.pick(typ), typ)
+		g.scopeRestore(snap)
+		g.indent = outerIndent
+		if b == 0 {
+			g.body.WriteString(g.indent)
+			g.body.WriteString("} else {\n")
+		}
+	}
+	g.body.WriteString(g.indent)
+	g.body.WriteString("}\n")
+	g.depth--
+	g.define(res, typ)
+}
+
+// matmulStep extends the tensor chain: out = matmul(A, B) into a fresh
+// empty tensor — the §7.4 associativity target when chained.
+func (g *gen) matmulStep() {
+	e := g.newName()
+	g.emit("%s = tensor.empty() : %s", e, tensorType)
+	r := g.newName()
+	g.emit("%s = linalg.matmul ins(%s, %s : %s, %s) outs(%s : %s) -> %s",
+		r, g.pick(tensorType), g.pick(tensorType), tensorType, tensorType, e, tensorType, tensorType)
+	g.define(r, tensorType)
+}
+
+func (g *gen) tensorMisc() {
+	switch g.rng.Intn(3) {
+	case 0:
+		name := g.newName()
+		g.emit("%s = tensor.splat %s : %s", name, g.pick("f64"), tensorType)
+		g.define(name, tensorType)
+	case 1:
+		e := g.newName()
+		g.emit("%s = tensor.empty() : %s", e, tensorType)
+		g.define(e, tensorType)
+		name := g.newName()
+		g.emit("%s = linalg.fill ins(%s : f64) outs(%s : %s) -> %s",
+			name, g.pick("f64"), e, tensorType, tensorType)
+		g.define(name, tensorType)
+	default:
+		i0 := g.newName()
+		g.emit("%s = arith.constant %d : index", i0, g.rng.Intn(4))
+		g.define(i0, "index")
+		i1 := g.newName()
+		g.emit("%s = arith.constant %d : index", i1, g.rng.Intn(4))
+		g.define(i1, "index")
+		name := g.newName()
+		g.emit("%s = tensor.extract %s[%s, %s] : %s", name, g.pick(tensorType), i0, i1, tensorType)
+		g.define(name, "f64")
+	}
+}
+
+// pickReturns selects the function results: the most recently defined
+// value of each populated scalar/tensor pool, at most two, preferring the
+// tensor (the interesting chain) when present.
+func (g *gen) pickReturns() (names, types []string) {
+	take := func(typ string) {
+		if pool := g.pools[typ]; len(pool) > 0 && len(names) < 2 {
+			names = append(names, pool[len(pool)-1])
+			types = append(types, typ)
+		}
+	}
+	if g.p.Tensors {
+		take(tensorType)
+	}
+	take("i64")
+	take("f64")
+	if len(names) == 0 {
+		// Degenerate budget: return a constant.
+		c := g.emitConst("i64")
+		names = append(names, c)
+		types = append(types, "i64")
+	}
+	return names, types
+}

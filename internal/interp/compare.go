@@ -1,0 +1,163 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tolerance configures approximate comparison of runtime values. The zero
+// Tolerance compares exactly (modulo the NaN and signed-zero policy below)
+// and is what integer-only programs use; float-rewriting rule sets pick a
+// wider tolerance matching the precision their rewrites are specified to
+// trade (see difftest and DESIGN.md §11).
+//
+// Two floats compare equal when ANY of the enabled criteria holds:
+//
+//   - they are both NaN (payload ignored — the IR has no way to observe it),
+//   - they are equal under ==, with +0 and -0 considered equal (no op in
+//     the interpreted subset distinguishes them short of bit inspection),
+//   - they are within ULPs units-in-the-last-place of each other,
+//   - |a-b| <= Abs,
+//   - |a-b| <= Rel * max(|a|, |b|).
+//
+// Infinities only ever equal infinities of the same sign: ULP/Rel/Abs
+// criteria are disabled when either side is non-finite, so an overflow on
+// one side can never be absorbed by a loose tolerance.
+type Tolerance struct {
+	// ULPs is the maximum units-in-the-last-place distance (0 = exact).
+	ULPs uint64
+	// Abs is the absolute difference bound (0 = disabled).
+	Abs float64
+	// Rel is the relative difference bound (0 = disabled).
+	Rel float64
+}
+
+// Exact is the zero tolerance: bit-exact floats apart from the NaN and
+// signed-zero identifications documented on Tolerance.
+var Exact = Tolerance{}
+
+// EqualFloats reports whether a and b are equal under the tolerance.
+func (tol Tolerance) EqualFloats(a, b float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	if a == b {
+		return true // covers ±0 (0 == -0) and same-signed infinities
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return false
+	}
+	d := math.Abs(a - b)
+	if tol.Abs > 0 && d <= tol.Abs {
+		return true
+	}
+	if tol.Rel > 0 && d <= tol.Rel*math.Max(math.Abs(a), math.Abs(b)) {
+		return true
+	}
+	return tol.ULPs > 0 && ulpDistance(a, b) <= tol.ULPs
+}
+
+// ulpDistance is the number of representable float64 values between a and
+// b (both finite). It maps the IEEE-754 bit patterns onto a single ordered
+// integer line (negative floats reversed), so the distance is well defined
+// across the zero crossing.
+func ulpDistance(a, b float64) uint64 {
+	ia, ib := orderedBits(a), orderedBits(b)
+	if ia > ib {
+		ia, ib = ib, ia
+	}
+	return uint64(ib - ia)
+}
+
+func orderedBits(f float64) int64 {
+	b := int64(math.Float64bits(f))
+	if b < 0 {
+		// Negative floats order opposite their bit patterns.
+		b = math.MinInt64 - b
+	}
+	return b
+}
+
+// CompareValues checks got against want under the tolerance: kinds must
+// match, integers and booleans compare exactly, floats via EqualFloats,
+// and tensors element-wise (same shape, same element class). The returned
+// error describes the first discrepancy.
+func (tol Tolerance) CompareValues(got, want Value) error {
+	if got.kind != want.kind {
+		return fmt.Errorf("kind mismatch: got %s, want %s", got, want)
+	}
+	switch want.kind {
+	case kindInt:
+		if got.i != want.i {
+			return fmt.Errorf("got %d, want %d", got.i, want.i)
+		}
+	case kindBool:
+		if got.b != want.b {
+			return fmt.Errorf("got %t, want %t", got.b, want.b)
+		}
+	case kindFloat:
+		if !tol.EqualFloats(got.f, want.f) {
+			return fmt.Errorf("got %v, want %v (diff %g, %d ulps)",
+				got.f, want.f, math.Abs(got.f-want.f), safeULPs(got.f, want.f))
+		}
+	case kindTensor:
+		return tol.compareTensors(got.tensor, want.tensor)
+	default:
+		return fmt.Errorf("invalid value kind")
+	}
+	return nil
+}
+
+func safeULPs(a, b float64) uint64 {
+	if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return math.MaxUint64
+	}
+	return ulpDistance(a, b)
+}
+
+func (tol Tolerance) compareTensors(got, want *Tensor) error {
+	if got == nil || want == nil {
+		if got == want {
+			return nil
+		}
+		return fmt.Errorf("nil tensor mismatch")
+	}
+	if len(got.Shape) != len(want.Shape) {
+		return fmt.Errorf("rank mismatch: got %v, want %v", got.Shape, want.Shape)
+	}
+	for d := range got.Shape {
+		if got.Shape[d] != want.Shape[d] {
+			return fmt.Errorf("shape mismatch: got %v, want %v", got.Shape, want.Shape)
+		}
+	}
+	if got.IsFloat() != want.IsFloat() {
+		return fmt.Errorf("element class mismatch: got float=%t, want float=%t", got.IsFloat(), want.IsFloat())
+	}
+	if want.IsFloat() {
+		for i := range want.F {
+			if !tol.EqualFloats(got.F[i], want.F[i]) {
+				return fmt.Errorf("element %d: got %v, want %v", i, got.F[i], want.F[i])
+			}
+		}
+		return nil
+	}
+	for i := range want.I {
+		if got.I[i] != want.I[i] {
+			return fmt.Errorf("element %d: got %d, want %d", i, got.I[i], want.I[i])
+		}
+	}
+	return nil
+}
+
+// CompareResults compares two result lists positionally.
+func (tol Tolerance) CompareResults(got, want []Value) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("result count mismatch: got %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if err := tol.CompareValues(got[i], want[i]); err != nil {
+			return fmt.Errorf("result[%d]: %w", i, err)
+		}
+	}
+	return nil
+}

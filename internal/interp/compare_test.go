@@ -1,0 +1,106 @@
+package interp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestToleranceExactPolicy(t *testing.T) {
+	tol := Exact
+	cases := []struct {
+		a, b float64
+		eq   bool
+	}{
+		{1.5, 1.5, true},
+		{0.0, math.Copysign(0, -1), true}, // ±0 identified
+		{math.NaN(), math.NaN(), true},    // NaN payloads not observable
+		{math.NaN(), 1, false},
+		{math.Inf(1), math.Inf(1), true},
+		{math.Inf(1), math.Inf(-1), false},
+		{math.Inf(1), math.MaxFloat64, false},
+		{1.0, math.Nextafter(1, 2), false},
+	}
+	for _, c := range cases {
+		if got := tol.EqualFloats(c.a, c.b); got != c.eq {
+			t.Errorf("Exact.EqualFloats(%v, %v) = %t, want %t", c.a, c.b, got, c.eq)
+		}
+	}
+}
+
+func TestToleranceULP(t *testing.T) {
+	tol := Tolerance{ULPs: 4}
+	one := 1.0
+	within := one
+	for i := 0; i < 4; i++ {
+		within = math.Nextafter(within, 2)
+	}
+	beyond := math.Nextafter(within, 2)
+	if !tol.EqualFloats(one, within) {
+		t.Errorf("4 ulps apart should compare equal")
+	}
+	if tol.EqualFloats(one, beyond) {
+		t.Errorf("5 ulps apart should compare unequal")
+	}
+	// The ULP line is continuous across zero: the neighbors of +0 and -0
+	// are 2 ulps apart.
+	a := math.Nextafter(0, 1)
+	b := math.Nextafter(math.Copysign(0, -1), -1)
+	if d := ulpDistance(a, b); d != 2 {
+		t.Errorf("ulpDistance across zero = %d, want 2", d)
+	}
+	// Loose tolerances never bless an overflow to infinity.
+	if (Tolerance{ULPs: 1 << 60, Rel: 1e10}).EqualFloats(math.Inf(1), math.MaxFloat64) {
+		t.Errorf("inf vs finite must stay unequal under any tolerance")
+	}
+}
+
+func TestToleranceRelAbs(t *testing.T) {
+	if !(Tolerance{Rel: 1e-6}).EqualFloats(1e6, 1e6+0.5) {
+		t.Errorf("rel 1e-6 should accept 0.5 ppm at 1e6")
+	}
+	if (Tolerance{Rel: 1e-9}).EqualFloats(1e6, 1e6+0.5) {
+		t.Errorf("rel 1e-9 should reject 0.5 at 1e6")
+	}
+	if !(Tolerance{Abs: 1e-3}).EqualFloats(0, 1e-4) {
+		t.Errorf("abs 1e-3 should accept 1e-4")
+	}
+}
+
+func TestCompareValuesKindsAndTensors(t *testing.T) {
+	if err := Exact.CompareValues(IntValue(3), IntValue(3)); err != nil {
+		t.Errorf("equal ints: %v", err)
+	}
+	if err := Exact.CompareValues(IntValue(3), FloatValue(3)); err == nil {
+		t.Errorf("kind mismatch must fail")
+	}
+	if err := Exact.CompareValues(BoolValue(true), BoolValue(false)); err == nil {
+		t.Errorf("bool mismatch must fail")
+	}
+
+	a := NewFloatTensor(2, 2)
+	b := NewFloatTensor(2, 2)
+	copy(a.F, []float64{1, 2, 3, 4})
+	copy(b.F, []float64{1, 2, 3, 4})
+	if err := Exact.CompareValues(TensorValue(a), TensorValue(b)); err != nil {
+		t.Errorf("equal tensors: %v", err)
+	}
+	b.F[3] = 4.25
+	if err := Exact.CompareValues(TensorValue(a), TensorValue(b)); err == nil {
+		t.Errorf("tensor element mismatch must fail")
+	}
+	if err := Exact.CompareValues(TensorValue(NewFloatTensor(2)), TensorValue(NewFloatTensor(3))); err == nil {
+		t.Errorf("tensor shape mismatch must fail")
+	}
+	if err := Exact.CompareValues(TensorValue(NewFloatTensor(2)), TensorValue(NewIntTensor(2))); err == nil {
+		t.Errorf("tensor element-class mismatch must fail")
+	}
+
+	if err := Exact.CompareResults(
+		[]Value{IntValue(1), FloatValue(2)},
+		[]Value{IntValue(1), FloatValue(2)}); err != nil {
+		t.Errorf("equal results: %v", err)
+	}
+	if err := Exact.CompareResults([]Value{IntValue(1)}, nil); err == nil {
+		t.Errorf("result count mismatch must fail")
+	}
+}

@@ -94,7 +94,7 @@ func TestFastInvSqrtAccuracy(t *testing.T) {
 		x := 0.001 + float64(raw%1_000_000)*0.37
 		got := FastInvSqrt(x)
 		want := 1 / math.Sqrt(x)
-		return math.Abs(got-want)/want < 0.002
+		return Tolerance{Rel: 0.002}.EqualFloats(got, want)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
 		t.Error(err)

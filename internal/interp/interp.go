@@ -62,6 +62,9 @@ func (in *Interpreter) Call(name string, args ...Value) ([]Value, error) {
 		}
 		return nil, fmt.Errorf("interp: function @%s not found", name)
 	}
+	if len(f.Regions) == 0 || f.Regions[0].First() == nil {
+		return nil, fmt.Errorf("interp: @%s has no body", name)
+	}
 	entry := f.Regions[0].First()
 	if len(args) != len(entry.Args) {
 		return nil, fmt.Errorf("interp: @%s expects %d arguments, got %d", name, len(entry.Args), len(args))
@@ -184,14 +187,8 @@ func (in *Interpreter) evalOp(op *mlir.Operation, env map[*mlir.Value]Value) err
 	case "arith.muli":
 		set(0, IntValue(args[0].Int()*args[1].Int()))
 	case "arith.divsi":
-		if args[1].Int() == 0 {
-			return fmt.Errorf("arith.divsi: division by zero")
-		}
 		set(0, IntValue(divARM(args[0].Int(), args[1].Int())))
 	case "arith.remsi":
-		if args[1].Int() == 0 {
-			return fmt.Errorf("arith.remsi: division by zero")
-		}
 		set(0, IntValue(remARM(args[0].Int(), args[1].Int())))
 	case "arith.shli":
 		set(0, IntValue(args[0].Int()<<uint(args[1].Int()&63)))
@@ -227,12 +224,18 @@ func (in *Interpreter) evalOp(op *mlir.Operation, env map[*mlir.Value]Value) err
 	// Comparisons and select.
 	case "arith.cmpi":
 		pa, _ := op.GetAttr("predicate")
-		pred := mlir.CmpIPredicate(pa.(mlir.IntegerAttr).Value)
-		set(0, BoolValue(evalCmpI(pred, args[0].Int(), args[1].Int())))
+		ia, ok := pa.(mlir.IntegerAttr)
+		if !ok {
+			return fmt.Errorf("arith.cmpi: missing or malformed predicate attribute")
+		}
+		set(0, BoolValue(evalCmpI(mlir.CmpIPredicate(ia.Value), args[0].Int(), args[1].Int())))
 	case "arith.cmpf":
 		pa, _ := op.GetAttr("predicate")
-		pred := mlir.CmpFPredicate(pa.(mlir.IntegerAttr).Value)
-		set(0, BoolValue(evalCmpF(pred, args[0].Float(), args[1].Float())))
+		ia, ok := pa.(mlir.IntegerAttr)
+		if !ok {
+			return fmt.Errorf("arith.cmpf: missing or malformed predicate attribute")
+		}
+		set(0, BoolValue(evalCmpF(mlir.CmpFPredicate(ia.Value), args[0].Float(), args[1].Float())))
 	case "arith.select":
 		if args[0].Bool() {
 			set(0, args[1])
@@ -280,7 +283,10 @@ func (in *Interpreter) evalOp(op *mlir.Operation, env map[*mlir.Value]Value) err
 		}
 		set(0, v)
 	case "tensor.splat":
-		rt := op.Results[0].Typ.(mlir.RankedTensorType)
+		rt, ok := op.Results[0].Typ.(mlir.RankedTensorType)
+		if !ok {
+			return fmt.Errorf("tensor.splat: result is not a ranked tensor")
+		}
 		if mlir.IsFloat(rt.Elem) {
 			t := NewFloatTensor(rt.Shape...)
 			for i := range t.F {
@@ -297,14 +303,20 @@ func (in *Interpreter) evalOp(op *mlir.Operation, env map[*mlir.Value]Value) err
 		in.charge(op, numElems(rt.Shape))
 		return nil
 	case "tensor.dim":
-		t := args[0].Tensor()
+		t, err := tensorArg(op, args, 0)
+		if err != nil {
+			return err
+		}
 		d := args[1].Int()
 		if d < 0 || int(d) >= len(t.Shape) {
 			return fmt.Errorf("tensor.dim: dimension %d out of range", d)
 		}
 		set(0, IntValue(t.Shape[d]))
 	case "tensor.extract":
-		t := args[0].Tensor()
+		t, err := tensorArg(op, args, 0)
+		if err != nil {
+			return err
+		}
 		idx := make([]int64, len(args)-1)
 		for i := 1; i < len(args); i++ {
 			idx[i-1] = args[i].Int()
@@ -319,7 +331,11 @@ func (in *Interpreter) evalOp(op *mlir.Operation, env map[*mlir.Value]Value) err
 			set(0, IntValue(t.I[off]))
 		}
 	case "tensor.insert":
-		dst := args[1].Tensor().mutable()
+		dt, err := tensorArg(op, args, 1)
+		if err != nil {
+			return err
+		}
+		dst := dt.mutable()
 		idx := make([]int64, len(args)-2)
 		for i := 2; i < len(args); i++ {
 			idx[i-2] = args[i].Int()
@@ -337,11 +353,39 @@ func (in *Interpreter) evalOp(op *mlir.Operation, env map[*mlir.Value]Value) err
 
 	// Linalg.
 	case "linalg.matmul":
-		a, b := args[0].Tensor(), args[1].Tensor()
-		out := args[2].Tensor().mutable()
+		a, err := tensorArg(op, args, 0)
+		if err != nil {
+			return err
+		}
+		b, err := tensorArg(op, args, 1)
+		if err != nil {
+			return err
+		}
+		ot, err := tensorArg(op, args, 2)
+		if err != nil {
+			return err
+		}
+		if len(a.Shape) != 2 || len(b.Shape) != 2 || len(ot.Shape) != 2 {
+			return fmt.Errorf("linalg.matmul: operands must be rank-2, got %v x %v -> %v", a.Shape, b.Shape, ot.Shape)
+		}
+		// The outs operand is a shape carrier only: the kernel overwrites
+		// every element. The result must be a fresh tensor, never an
+		// in-place update — e-graph extraction legitimately CSEs identical
+		// tensor.empty() terms, so the outs buffer may be shared with (or
+		// even be) an input, and destructive update would corrupt the
+		// aliased values. Found by the differential fuzzer.
+		out := &Tensor{Shape: append([]int64(nil), ot.Shape...)}
+		if ot.IsFloat() {
+			out.F = make([]float64, ot.NumElements())
+		} else {
+			out.I = make([]int64, ot.NumElements())
+		}
 		m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
 		if b.Shape[0] != k || out.Shape[0] != m || out.Shape[1] != n {
 			return fmt.Errorf("linalg.matmul: shape mismatch %v x %v -> %v", a.Shape, b.Shape, out.Shape)
+		}
+		if a.IsFloat() != b.IsFloat() || a.IsFloat() != out.IsFloat() {
+			return fmt.Errorf("linalg.matmul: mixed element classes")
 		}
 		if a.IsFloat() {
 			matmulF64(a.F, b.F, out.F, m, k, n)
@@ -352,7 +396,18 @@ func (in *Interpreter) evalOp(op *mlir.Operation, env map[*mlir.Value]Value) err
 		in.charge(op, m*k*n*in.Cost.MatmulMACCost)
 		return nil
 	case "linalg.fill":
-		out := args[1].Tensor().mutable()
+		ft, err := tensorArg(op, args, 1)
+		if err != nil {
+			return err
+		}
+		// Like linalg.matmul, fill overwrites every element: allocate a
+		// fresh result so a CSE-shared outs buffer is never mutated.
+		out := &Tensor{Shape: append([]int64(nil), ft.Shape...)}
+		if ft.IsFloat() {
+			out.F = make([]float64, ft.NumElements())
+		} else {
+			out.I = make([]int64, ft.NumElements())
+		}
 		if out.IsFloat() {
 			for i := range out.F {
 				out.F[i] = args[0].Float()
@@ -376,12 +431,19 @@ func (in *Interpreter) evalOp(op *mlir.Operation, env map[*mlir.Value]Value) err
 		if branch >= len(op.Regions) {
 			return nil // condition false, no else: nothing to do
 		}
-		vals, isReturn, err := in.evalBlock(op.Regions[branch].First(), env)
+		blk := op.Regions[branch].First()
+		if blk == nil {
+			return fmt.Errorf("scf.if: empty branch region")
+		}
+		vals, isReturn, err := in.evalBlock(blk, env)
 		if err != nil {
 			return err
 		}
 		if isReturn {
 			return fmt.Errorf("scf.if: func.return inside if is unsupported")
+		}
+		if len(vals) != len(op.Results) {
+			return fmt.Errorf("scf.if: branch yields %d values for %d results", len(vals), len(op.Results))
 		}
 		for i, v := range vals {
 			set(i, v)
@@ -393,8 +455,16 @@ func (in *Interpreter) evalOp(op *mlir.Operation, env map[*mlir.Value]Value) err
 		if step <= 0 {
 			return fmt.Errorf("scf.for: non-positive step %d", step)
 		}
+		if len(op.Regions) == 0 || op.Regions[0].First() == nil {
+			return fmt.Errorf("scf.for: missing body region")
+		}
 		body := op.Regions[0].First()
 		iters := append([]Value(nil), args[3:]...)
+		// A lower bound at or above the upper bound is a defined empty loop:
+		// zero iterations, results are the init values (MLIR scf semantics).
+		if len(body.Args) != 1+len(iters) {
+			return fmt.Errorf("scf.for: body has %d block args for %d iter_args", len(body.Args), len(iters))
+		}
 		for i := lb; i < ub; i += step {
 			if err := in.step(); err != nil {
 				return err
@@ -410,6 +480,9 @@ func (in *Interpreter) evalOp(op *mlir.Operation, env map[*mlir.Value]Value) err
 			if isReturn {
 				return fmt.Errorf("scf.for: func.return inside loop is unsupported")
 			}
+			if len(vals) != len(iters) {
+				return fmt.Errorf("scf.for: yield carries %d values for %d iter_args", len(vals), len(iters))
+			}
 			iters = vals
 			if in.Cost != nil {
 				in.Stats.Cycles += in.Cost.LoopIterationCost
@@ -422,8 +495,17 @@ func (in *Interpreter) evalOp(op *mlir.Operation, env map[*mlir.Value]Value) err
 		return nil
 
 	case "scf.while":
+		if len(op.Regions) < 2 || op.Regions[0].First() == nil || op.Regions[1].First() == nil {
+			return fmt.Errorf("scf.while: missing before/after region")
+		}
 		before := op.Regions[0].First()
 		after := op.Regions[1].First()
+		if len(before.Ops) == 0 || before.Terminator().Name != "scf.condition" {
+			return fmt.Errorf("scf.while: before region must end in scf.condition")
+		}
+		if len(before.Args) != len(args) {
+			return fmt.Errorf("scf.while: before region has %d block args for %d inits", len(before.Args), len(args))
+		}
 		iters := append([]Value(nil), args...)
 		for {
 			if err := in.step(); err != nil {
@@ -444,15 +526,24 @@ func (in *Interpreter) evalOp(op *mlir.Operation, env map[*mlir.Value]Value) err
 			if err != nil {
 				return err
 			}
+			if len(condVals) == 0 {
+				return fmt.Errorf("scf.while: scf.condition needs a condition operand")
+			}
 			if in.Cost != nil {
 				in.Stats.Cycles += in.Cost.LoopIterationCost
 			}
 			if !condVals[0].Bool() {
+				if len(condVals)-1 != len(op.Results) {
+					return fmt.Errorf("scf.while: scf.condition forwards %d values for %d results", len(condVals)-1, len(op.Results))
+				}
 				for i, v := range condVals[1:] {
 					set(i, v)
 				}
 				in.charge(op, 0)
 				return nil
+			}
+			if len(condVals)-1 != len(after.Args) {
+				return fmt.Errorf("scf.while: scf.condition forwards %d values for %d after-region args", len(condVals)-1, len(after.Args))
 			}
 			for i, v := range condVals[1:] {
 				env[after.Args[i]] = v
@@ -464,12 +555,19 @@ func (in *Interpreter) evalOp(op *mlir.Operation, env map[*mlir.Value]Value) err
 			if isReturn {
 				return fmt.Errorf("scf.while: func.return inside loop is unsupported")
 			}
+			if len(vals) != len(before.Args) {
+				return fmt.Errorf("scf.while: after region yields %d values for %d before-region args", len(vals), len(before.Args))
+			}
 			iters = vals
 		}
 
 	case "func.call":
 		calleeAttr, _ := op.GetAttr("callee")
-		callee := calleeAttr.(mlir.SymbolRefAttr).Symbol
+		sym, ok := calleeAttr.(mlir.SymbolRefAttr)
+		if !ok {
+			return fmt.Errorf("func.call: missing or malformed callee attribute")
+		}
+		callee := sym.Symbol
 		res, err := in.Call(callee, args...)
 		if err != nil {
 			return err
@@ -495,20 +593,44 @@ func (in *Interpreter) evalOp(op *mlir.Operation, env map[*mlir.Value]Value) err
 }
 
 // divARM divides with AArch64 semantics: MinInt64 / -1 wraps to MinInt64
-// instead of trapping (Go would panic). The paper's M1 behaves this way.
+// instead of trapping (Go would panic), and division by zero returns 0
+// (the architected SDIV result — AArch64 integer divides never trap). The
+// paper's M1 behaves this way. Making every divisor defined also makes
+// generated programs total, which the differential fuzzing oracle
+// (internal/difftest) relies on; the egglog constant-folding primitives
+// are partial on zero divisors, so no rewrite ever folds x/0 and both
+// sides of a differential run always agree on this case.
 func divARM(a, b int64) int64 {
+	if b == 0 {
+		return 0
+	}
 	if a == math.MinInt64 && b == -1 {
 		return math.MinInt64
 	}
 	return a / b
 }
 
-// remARM is the matching remainder: MinInt64 % -1 is 0 on AArch64.
+// remARM is the matching remainder a - (a/b)*b: MinInt64 % -1 is 0 on
+// AArch64, and x % 0 is x (since x/0 is 0).
 func remARM(a, b int64) int64 {
+	if b == 0 {
+		return a
+	}
 	if a == math.MinInt64 && b == -1 {
 		return 0
 	}
 	return a % b
+}
+
+// tensorArg returns operand i as a tensor, or a diagnosable error when the
+// runtime value is not one (a malformed module must fail evaluation, never
+// panic: the differential fuzzer feeds the interpreter machine-generated
+// and machine-shrunk programs).
+func tensorArg(op *mlir.Operation, args []Value, i int) (*Tensor, error) {
+	if i >= len(args) || !args[i].IsTensor() || args[i].tensor == nil {
+		return nil, fmt.Errorf("%s: operand %d is not a tensor", op.Name, i)
+	}
+	return args[i].tensor, nil
 }
 
 func matmulF64(a, b, out []float64, m, k, n int64) {

@@ -181,8 +181,9 @@ func.func @inv(%x: f32) -> f32 {
 }`
 	res, _ := run(t, src, "inv", FloatValue(4))
 	// The Quake approximation is within ~0.2% after one Newton step.
-	if math.Abs(res[0].Float()-0.5) > 0.002 {
-		t.Errorf("fast_inv_sqrt(4) = %g, want ~0.5", res[0].Float())
+	tol := Tolerance{Rel: 0.002}
+	if err := tol.CompareValues(res[0], FloatValue(0.5)); err != nil {
+		t.Errorf("fast_inv_sqrt(4): %v", err)
 	}
 }
 
@@ -204,19 +205,65 @@ func.func @quad(%x: i64) -> i64 {
 	}
 }
 
-func TestDivisionByZeroError(t *testing.T) {
+// TestDivisionByZeroDefined pins the documented AArch64 divide semantics:
+// x/0 is 0 (SDIV never traps) and x%0 is x (the matching a - (a/b)*b).
+// Total division keeps machine-generated programs executable on both sides
+// of a differential run; see divARM/remARM.
+func TestDivisionByZeroDefined(t *testing.T) {
 	src := `
-func.func @f(%a: i64) -> i64 {
+func.func @f(%a: i64) -> (i64, i64) {
   %c0 = arith.constant 0 : i64
-  %r = arith.divsi %a, %c0 : i64
+  %d = arith.divsi %a, %c0 : i64
+  %r = arith.remsi %a, %c0 : i64
+  func.return %d, %r : i64, i64
+}`
+	res, _ := run(t, src, "f", IntValue(-17))
+	if res[0].Int() != 0 {
+		t.Errorf("-17/0 = %d, want 0", res[0].Int())
+	}
+	if res[1].Int() != -17 {
+		t.Errorf("-17%%0 = %d, want -17", res[1].Int())
+	}
+}
+
+// TestEmptyTripCountLoop: lb >= ub runs zero iterations and the loop's
+// results are its init values.
+func TestEmptyTripCountLoop(t *testing.T) {
+	src := `
+func.func @f(%init: i64) -> i64 {
+  %c5 = arith.constant 5 : index
+  %c2 = arith.constant 2 : index
+  %c1 = arith.constant 1 : index
+  %r = scf.for %i = %c5 to %c2 step %c1 iter_args(%acc = %init) -> (i64) {
+    %next = arith.addi %acc, %acc : i64
+    scf.yield %next : i64
+  }
   func.return %r : i64
 }`
-	m, err := mlir.ParseModule(src, dialects.NewRegistry())
-	if err != nil {
-		t.Fatal(err)
+	res, stats := run(t, src, "f", IntValue(42))
+	if res[0].Int() != 42 {
+		t.Errorf("empty loop = %d, want init 42", res[0].Int())
 	}
-	if _, err := New(m).Call("f", IntValue(1)); err == nil {
-		t.Error("expected division-by-zero error")
+	if stats.Count("arith.addi") != 0 {
+		t.Errorf("empty loop executed its body %d times", stats.Count("arith.addi"))
+	}
+}
+
+// TestMinIntDivMinusOne pins the AArch64 wraparound (no trap).
+func TestMinIntDivMinusOne(t *testing.T) {
+	src := `
+func.func @f(%a: i64) -> (i64, i64) {
+  %cm1 = arith.constant -1 : i64
+  %d = arith.divsi %a, %cm1 : i64
+  %r = arith.remsi %a, %cm1 : i64
+  func.return %d, %r : i64, i64
+}`
+	res, _ := run(t, src, "f", IntValue(math.MinInt64))
+	if res[0].Int() != math.MinInt64 {
+		t.Errorf("MinInt64/-1 = %d, want MinInt64", res[0].Int())
+	}
+	if res[1].Int() != 0 {
+		t.Errorf("MinInt64%%-1 = %d, want 0", res[1].Int())
 	}
 }
 

@@ -1,0 +1,192 @@
+package memo
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// accountedBytes recomputes the cache's byte accounting from the
+// resident entries, independently of the incrementally-maintained
+// c.bytes counter it is checked against.
+func accountedBytes(c *Cache) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var n int64
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		n += el.Value.(*centry).size()
+	}
+	return n
+}
+
+// TestCacheExactBudgetFit: an entry whose accounted size equals the
+// budget exactly is stored — the boundary is inclusive — and one byte
+// more is rejected.
+func TestCacheExactBudgetFit(t *testing.T) {
+	key := "k"
+	val := make([]byte, 100)
+	exact := int64(len(key)+len(val)) + entryOverhead
+	c := NewCache(exact)
+	c.Add(key, val)
+	if _, ok := c.Get(key); !ok {
+		t.Fatal("entry of exactly budget size was not stored")
+	}
+	if st := c.Stats(); st.Bytes != exact || st.Rejected != 0 {
+		t.Errorf("stats = %+v, want bytes == budget %d, no rejections", st, exact)
+	}
+
+	over := NewCache(exact - 1)
+	over.Add(key, val)
+	if _, ok := over.Get(key); ok {
+		t.Error("entry one byte over budget was stored")
+	}
+	if st := over.Stats(); st.Rejected != 1 || st.Entries != 0 || st.Bytes != 0 {
+		t.Errorf("stats = %+v, want 1 rejection and an empty cache", st)
+	}
+}
+
+// TestCacheExactMultipleFit: a budget sized for exactly two entries
+// holds two; the third add evicts exactly the LRU one, never more.
+func TestCacheExactMultipleFit(t *testing.T) {
+	val := make([]byte, 64)
+	per := int64(len("k0")+len(val)) + entryOverhead
+	c := NewCache(2 * per)
+	c.Add("k0", val)
+	c.Add("k1", val)
+	if st := c.Stats(); st.Entries != 2 || st.Evictions != 0 || st.Bytes != 2*per {
+		t.Fatalf("two exact-fit entries should be resident untouched, got %+v", st)
+	}
+	c.Add("k2", val)
+	st := c.Stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Errorf("third add should evict exactly one entry, got %+v", st)
+	}
+	if _, ok := c.Get("k0"); ok {
+		t.Error("k0 was the LRU victim and should be gone")
+	}
+	if st.Bytes != accountedBytes(c) {
+		t.Errorf("bytes counter %d != recomputed %d", st.Bytes, accountedBytes(c))
+	}
+}
+
+// TestCacheReplaceAccounting: replacing a value adjusts the byte count
+// by the size delta in both directions, and a replacement that grows the
+// entry past the budget evicts other entries — never the one just
+// replaced, which is most recently used by definition.
+func TestCacheReplaceAccounting(t *testing.T) {
+	c := NewCache(1 << 16)
+	c.Add("a", make([]byte, 100))
+	c.Add("b", make([]byte, 100))
+
+	c.Add("a", make([]byte, 300)) // grow
+	if got, want := c.Stats().Bytes, accountedBytes(c); got != want {
+		t.Errorf("after grow: bytes counter %d != recomputed %d", got, want)
+	}
+	c.Add("a", make([]byte, 10)) // shrink
+	if got, want := c.Stats().Bytes, accountedBytes(c); got != want {
+		t.Errorf("after shrink: bytes counter %d != recomputed %d", got, want)
+	}
+	if st := c.Stats(); st.Entries != 2 || st.Evictions != 0 {
+		t.Errorf("replacements must not change entry count, got %+v", st)
+	}
+
+	// Grow-in-place past the budget: the replaced entry survives, the
+	// other (now LRU) entry is the victim.
+	small := NewCache(2*(int64(1)+entryOverhead) + 200)
+	small.Add("x", make([]byte, 100))
+	small.Add("y", make([]byte, 100))
+	small.Add("x", make([]byte, 250))
+	if _, ok := small.Get("x"); !ok {
+		t.Error("grown entry must survive its own replacement")
+	}
+	if _, ok := small.Get("y"); ok {
+		t.Error("growing x past the budget should have evicted y")
+	}
+	if got, want := small.Stats().Bytes, accountedBytes(small); got != want {
+		t.Errorf("after grow-evict: bytes counter %d != recomputed %d", got, want)
+	}
+}
+
+// TestCacheReplaceOversizeKeepsOld: a replacement value too large for
+// the whole budget is rejected and the previous value stays resident —
+// rejection must not damage existing state.
+func TestCacheReplaceOversizeKeepsOld(t *testing.T) {
+	c := NewCache(512)
+	c.Add("k", []byte("old"))
+	c.Add("k", make([]byte, 4096))
+	got, ok := c.Get("k")
+	if !ok || string(got) != "old" {
+		t.Errorf("old value should survive an oversize replacement, got %q ok=%t", got, ok)
+	}
+	if st := c.Stats(); st.Rejected != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want 1 rejection, old entry resident", st)
+	}
+}
+
+// TestCacheNegativeBudget: a negative budget behaves like zero — storage
+// disabled, every add rejected, no panics.
+func TestCacheNegativeBudget(t *testing.T) {
+	c := NewCache(-1)
+	c.Add("k", []byte("v"))
+	if _, ok := c.Get("k"); ok {
+		t.Error("negative-budget cache stored an entry")
+	}
+	if st := c.Stats(); st.Rejected != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 rejection, 1 miss", st)
+	}
+}
+
+// TestCacheCountersConcurrent hammers a small cache from many goroutines
+// and checks the counters add up afterwards: every Get is either a hit
+// or a miss, the byte counter matches a recomputation from the resident
+// entries, and the budget was never the loser.
+func TestCacheCountersConcurrent(t *testing.T) {
+	val := make([]byte, 64)
+	per := int64(len("k00")+len(val)) + entryOverhead
+	c := NewCache(4 * per) // room for 4 of 16 keys: constant eviction pressure
+
+	const (
+		workers = 8
+		rounds  = 500
+		keys    = 16
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < rounds; i++ {
+				k := fmt.Sprintf("k%02d", rng.Intn(keys))
+				if i%2 == 0 {
+					c.Add(k, val)
+				} else {
+					c.Get(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := c.Stats()
+	const gets = workers * rounds / 2
+	if st.Hits+st.Misses != gets {
+		t.Errorf("hits %d + misses %d != %d gets", st.Hits, st.Misses, gets)
+	}
+	if st.Bytes > st.MaxBytes {
+		t.Errorf("bytes %d exceeds budget %d", st.Bytes, st.MaxBytes)
+	}
+	if got := accountedBytes(c); st.Bytes != got {
+		t.Errorf("bytes counter %d != recomputed %d", st.Bytes, got)
+	}
+	if st.Entries != c.Len() || int64(st.Entries)*per != st.Bytes {
+		t.Errorf("entry count %d inconsistent with bytes %d (per-entry %d)", st.Entries, st.Bytes, per)
+	}
+	if st.Rejected != 0 {
+		t.Errorf("no add was oversize, yet %d rejections", st.Rejected)
+	}
+	if st.Evictions == 0 {
+		t.Error("16 keys through a 4-entry cache must evict; counters look dead")
+	}
+}

@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestStatzCountersUnderLoad drives the server from many concurrent
+// clients — repeated requests for a few distinct modules plus a stream
+// of invalid ones — while other goroutines poll /statz the whole time,
+// then checks the final counters add up exactly:
+//
+//   - Requests counts only requests accepted past validation; every one
+//     of them resolved to a hit or a miss.
+//   - Runs equals the number of distinct modules: cache + singleflight
+//     guarantee one saturation per content address no matter how many
+//     clients ask.
+//   - Errors counts the invalid requests, which never reach Requests.
+//
+// The mid-flight /statz polls assert the invariants that must hold at
+// any instant; with -race this also proves the stats path is safe
+// against the hot counters.
+func TestStatzCountersUnderLoad(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 4, CacheBytes: 1 << 20})
+	ctx := context.Background()
+
+	const (
+		distinct   = 3
+		perModule  = 6
+		badClients = 4
+	)
+	modules := make([]string, distinct)
+	for i := range modules {
+		// Distinct constants give distinct content addresses.
+		modules[i] = fmt.Sprintf(`func.func @scale(%%x: i64) -> i64 {
+  %%c = arith.constant %d : i64
+  %%r = arith.divsi %%x, %%c : i64
+  func.return %%r : i64
+}
+`, 1<<(i+3))
+	}
+
+	stopPolling := make(chan struct{})
+	var pollWG sync.WaitGroup
+	for p := 0; p < 2; p++ {
+		pollWG.Add(1)
+		go func() {
+			defer pollWG.Done()
+			for {
+				select {
+				case <-stopPolling:
+					return
+				default:
+				}
+				st, err := c.Stats(ctx)
+				if err != nil {
+					t.Errorf("mid-flight /statz: %v", err)
+					return
+				}
+				if st.Hits+st.Misses > st.Requests {
+					t.Errorf("hits %d + misses %d > requests %d", st.Hits, st.Misses, st.Requests)
+				}
+				if st.Inflight < 0 {
+					t.Errorf("inflight gauge went negative: %d", st.Inflight)
+				}
+				if st.Cache.Bytes > st.Cache.MaxBytes {
+					t.Errorf("cache bytes %d over budget %d", st.Cache.Bytes, st.Cache.MaxBytes)
+				}
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for _, m := range modules {
+		for i := 0; i < perModule; i++ {
+			wg.Add(1)
+			go func(m string) {
+				defer wg.Done()
+				resp, _, err := c.Optimize(ctx, &OptimizeRequest{MLIR: m, RuleSet: "imgconv"})
+				if err != nil {
+					t.Errorf("optimize: %v", err)
+					return
+				}
+				if resp.MLIR == "" {
+					t.Error("empty optimized module")
+				}
+			}(m)
+		}
+	}
+	for i := 0; i < badClients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, err := c.Optimize(ctx, &OptimizeRequest{MLIR: "this is not mlir"})
+			if err == nil {
+				t.Error("invalid module was accepted")
+			}
+		}()
+	}
+	wg.Wait()
+	close(stopPolling)
+	pollWG.Wait()
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const good = distinct * perModule
+	if st.Requests != good {
+		t.Errorf("requests = %d, want %d (invalid requests must not count)", st.Requests, good)
+	}
+	if st.Hits+st.Misses != st.Requests {
+		t.Errorf("hits %d + misses %d != requests %d", st.Hits, st.Misses, st.Requests)
+	}
+	// Runs is at least one per distinct module and at most a handful
+	// more: a request can miss the cache, stall past the first flight's
+	// completion, and lead a second run, but the overwhelming majority
+	// must coalesce. Each successful run had a flight leader, so the
+	// miss counter tracks it exactly.
+	if st.Runs < distinct || st.Runs > distinct+2 {
+		t.Errorf("runs = %d, want ~%d — cache+singleflight should cost about one run per distinct module", st.Runs, distinct)
+	}
+	if st.Misses != st.Runs {
+		t.Errorf("misses = %d, want %d (one flight leader per successful run)", st.Misses, st.Runs)
+	}
+	if st.Errors != badClients {
+		t.Errorf("errors = %d, want %d", st.Errors, badClients)
+	}
+	if st.Inflight != 0 || st.QueueDepth != 0 {
+		t.Errorf("idle server reports inflight %d, queue depth %d", st.Inflight, st.QueueDepth)
+	}
+	if st.Cache.Entries != distinct {
+		t.Errorf("cache entries = %d, want %d", st.Cache.Entries, distinct)
+	}
+	if st.LatencyP50MS > st.LatencyP99MS {
+		t.Errorf("p50 %.3fms > p99 %.3fms", st.LatencyP50MS, st.LatencyP99MS)
+	}
+}
