@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet fmt bench bench-smoke trace-smoke debug-smoke serve-smoke fuzz-smoke fuzz-nightly examples fig3 tables full clean
+.PHONY: all build test test-race vet fmt bench bench-smoke trace-smoke debug-smoke serve-smoke metrics-smoke fuzz-smoke fuzz-nightly examples fig3 tables full clean
 
 all: build vet test test-race
 
@@ -70,6 +70,18 @@ debug-smoke:
 serve-smoke:
 	$(GO) run ./cmd/egg-serve -smoke
 
+# Telemetry-plane smoke: egg-serve's self-contained metrics exercise —
+# normal traffic plus a watchdog-tripping saturation explosion, then
+# /metrics, /buildz, and /debugz/flightz checks — followed by the
+# standalone linters over the written artifacts (Prometheus exposition
+# invariants; Chrome-trace shape of the tripped request's flight record).
+metrics-smoke:
+	$(GO) run ./cmd/egg-serve -metrics-smoke -log off
+	$(GO) run ./internal/obs/metricslint -file metrics.txt \
+		-require egg_requests_total,egg_request_duration_seconds,egg_watchdog_trips_total,egg_build_info,egg_rule_matched_total,egg_engine_nodes,egg_queue_age_seconds,egg_uptime_seconds
+	$(GO) run ./internal/obs/tracelint -trace flight.trace.json
+	@echo "metrics-smoke: OK (metrics.txt, flight.trace.json)"
+
 # Differential fuzzing smoke: replay the checked-in repro corpus (fixed
 # regressions must stay fixed, expect-fail entries must stay caught —
 # they pin the oracle's detection power), then a short fresh fuzz over
@@ -107,4 +119,5 @@ full:
 
 clean:
 	rm -f test_output.txt bench_output.txt trace.json stats.json cpu.pprof mem.pprof \
-		journal.jsonl snapshot.json egraph.dot extraction.txt
+		journal.jsonl snapshot.json egraph.dot extraction.txt \
+		metrics.txt flight.trace.json

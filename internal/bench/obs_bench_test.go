@@ -12,26 +12,65 @@ import (
 	"dialegg/internal/mlir"
 	"dialegg/internal/obs"
 	"dialegg/internal/obs/journal"
+	"dialegg/internal/obs/telemetry"
 	"dialegg/internal/rules"
 )
 
+// liveGauges is the benchmark's stand-in for the serving layer's
+// LiveSink: per-iteration gauge publication plus per-rule counter vecs,
+// the work egg-serve does on every iteration when telemetry is on.
+type liveGauges struct {
+	iter, nodes, classes, rows *telemetry.Gauge
+	matched, applied           *telemetry.Vec
+}
+
+func newLiveGauges() *liveGauges {
+	reg := telemetry.NewRegistry()
+	return &liveGauges{
+		iter:    reg.NewGauge("bench_iter", ""),
+		nodes:   reg.NewGauge("bench_nodes", ""),
+		classes: reg.NewGauge("bench_classes", ""),
+		rows:    reg.NewGauge("bench_rows", ""),
+		matched: reg.NewCounterVec("bench_matched_total", "", "rule"),
+		applied: reg.NewCounterVec("bench_applied_total", "", "rule"),
+	}
+}
+
+func (l *liveGauges) LiveIter(st egraph.LiveIterStats, rules []egraph.LiveRuleStats) {
+	l.iter.Set(float64(st.Iter))
+	l.nodes.Set(float64(st.Nodes))
+	l.classes.Set(float64(st.Classes))
+	l.rows.Set(float64(st.LiveRows))
+	for _, r := range rules {
+		if r.Matched > 0 {
+			l.matched.With(r.Name).Add(uint64(r.Matched))
+		}
+		if r.Applied > 0 {
+			l.applied.With(r.Name).Add(uint64(r.Applied))
+		}
+	}
+}
+
 // BenchmarkObservabilityOverhead runs the chain-saturation workload with
-// the observability layer off, with per-rule metrics on, and with
-// metrics plus a live trace recorder — the three CLI configurations
-// (plain, --stats/--stats-json, and --trace). The off/on ratio is the
+// the observability layer off, with live telemetry gauges (egg-serve's
+// always-on configuration), with per-rule metrics on, and with metrics
+// plus a live trace recorder — the CLI/serve configurations (plain,
+// /metrics, --stats/--stats-json, and --trace). The off/on ratio is the
 // cost of instrumentation on the hot path; the acceptance budget for
-// the disabled configuration is < 2% versus the seed (the nil-recorder
-// path is a single pointer check, so "off" and "seed" should be
-// indistinguishable within noise).
+// the disabled configuration is < 2% versus the seed (the nil-recorder,
+// nil-live path is a pointer check per iteration, so "off" and "seed"
+// should be indistinguishable within noise).
 func BenchmarkObservabilityOverhead(b *testing.B) {
 	modes := []struct {
 		name    string
+		live    bool
 		metrics bool
 		trace   bool
 	}{
-		{"off", false, false},
-		{"metrics", true, false},
-		{"metrics+trace", true, true},
+		{"off", false, false, false},
+		{"live", true, false, false},
+		{"metrics", false, true, false},
+		{"metrics+trace", false, true, true},
 	}
 	for _, n := range []int{8, 16} {
 		dims := NMMDims(n)
@@ -55,6 +94,9 @@ func BenchmarkObservabilityOverhead(b *testing.B) {
 					}
 					if mode.trace {
 						cfg.Recorder = obs.NewRecorder()
+					}
+					if mode.live {
+						cfg.Live = newLiveGauges()
 					}
 					opt := dialegg.NewOptimizer(dialegg.Options{
 						RuleSources: rules.MatmulChain(),

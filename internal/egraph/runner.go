@@ -61,6 +61,21 @@ type RunConfig struct {
 	// via the recorder's WriteTrace. A nil Recorder records nothing and
 	// costs nothing.
 	Recorder *obs.Recorder
+	// RequestID is the correlation key of the serving-layer request this
+	// run executes for. It changes no engine behavior; it is stamped on
+	// every journal event the run emits and attached as a trace-level
+	// label on the Recorder, so one request's journal, trace, and log
+	// lines all join on the same ID. Empty means no request context.
+	RequestID string
+	// Live, when non-nil, receives per-iteration engine gauges (graph
+	// growth, row census, per-rule match/apply counts) while the run is
+	// in progress — the feed the serving layer exports as live Prometheus
+	// gauges and the engine health watchdog watches for saturation
+	// explosions. Unlike RuleMetrics it does not enable the union-find
+	// Find counter or per-match no-op accounting, so its per-iteration
+	// cost is one class count plus one row census. A nil Live costs one
+	// pointer check per iteration and changes nothing.
+	Live LiveSink
 	// SnapshotEvery, when > 0 and the graph has a journal attached, embeds
 	// a full state snapshot (EGraph.Snapshot) into the journal after every
 	// N-th iteration's rebuild. Snapshots are what `egg-debug replay
@@ -205,6 +220,44 @@ type IterStats struct {
 
 // Saturated reports whether the run reached a fixed point.
 func (r RunReport) Saturated() bool { return r.Stop == StopSaturated }
+
+// LiveIterStats is one iteration's live gauge payload, delivered to
+// RunConfig.Live right after the iteration's rebuild — while the run is
+// still going, which is what makes saturation explosions observable
+// before the final RunReport exists.
+type LiveIterStats struct {
+	// Iter is the 1-based iteration number within this run.
+	Iter int
+	// Nodes and Classes size the e-graph after the iteration's rebuild.
+	Nodes   int
+	Classes int
+	// LiveRows and DeadRows census the database tables; DeltaRows is the
+	// iteration's semi-naive frontier size.
+	LiveRows  int
+	DeadRows  int
+	DeltaRows int
+	// Matches is the number of matches applied this iteration.
+	Matches int
+}
+
+// LiveRuleStats is one rule's match activity in one iteration (deltas,
+// not run totals — sinks that export monotonic counters just add them).
+type LiveRuleStats struct {
+	Name string
+	// Matched is the rule's pre-truncation match count this iteration;
+	// Applied the post-truncation count actually applied.
+	Matched int64
+	Applied int64
+}
+
+// LiveSink receives live per-iteration gauges during a saturation run.
+// LiveIter is called from the runner's serial section after each
+// iteration's rebuild; rules is valid only for the duration of the call
+// (the runner reuses the buffer). Implementations must not call back
+// into the e-graph.
+type LiveSink interface {
+	LiveIter(st LiveIterStats, rules []LiveRuleStats)
+}
 
 // ruleMatches holds one rule's merged match buffer for the apply phase.
 type ruleMatches struct {
@@ -492,9 +545,20 @@ func (g *EGraph) Run(rules []*Rule, cfg RunConfig) RunReport {
 	start := time.Now()
 	report := RunReport{Stop: StopIterLimit, Workers: cfg.Workers}
 	rec := cfg.Recorder
+	if cfg.RequestID != "" {
+		// Correlate this run's artifacts: journal events are stamped with
+		// the request ID for the run's duration, and the trace carries it
+		// as a process-level label.
+		if g.journal != nil {
+			g.reqID = cfg.RequestID
+			defer func() { g.reqID = "" }()
+		}
+		rec.SetLabel("request_id", cfg.RequestID)
+	}
 	if g.journal != nil {
 		g.jEmit(journal.Event{Kind: journal.KRun, Workers: cfg.Workers})
 	}
+	var liveRules []LiveRuleStats
 
 	var rstats []RuleStats
 	if cfg.RuleMetrics {
@@ -715,6 +779,33 @@ func (g *EGraph) Run(rules []*Rule, cfg RunConfig) RunReport {
 			it.Finds = g.uf.Finds() - findsBefore
 		}
 		report.PerIter = append(report.PerIter, it)
+		if cfg.Live != nil {
+			lst := LiveIterStats{
+				Iter:      iter + 1,
+				Nodes:     nodesAfter,
+				DeltaRows: deltaRows,
+				Matches:   applied,
+			}
+			if cfg.RuleMetrics {
+				lst.Classes, lst.LiveRows, lst.DeadRows = it.Classes, it.LiveRows, it.DeadRows
+			} else {
+				lst.Classes = g.NumClasses()
+				lst.LiveRows, lst.DeadRows = g.rowCensus()
+			}
+			liveRules = liveRules[:0]
+			for i := range pending {
+				rm := &pending[i]
+				if rm.found == 0 && len(rm.matches) == 0 {
+					continue
+				}
+				liveRules = append(liveRules, LiveRuleStats{
+					Name:    rm.rule.Name,
+					Matched: rm.found,
+					Applied: int64(len(rm.matches)),
+				})
+			}
+			cfg.Live.LiveIter(lst, liveRules)
+		}
 		if rec.Enabled() {
 			rec.Complete(obs.LaneEngine, "phase", "apply", startApply, it.ApplyTime, map[string]int64{
 				"matches": int64(applied),

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"io"
+	"sync"
+	"time"
+)
+
+// FlightRecord is one request's always-on observability capture: its
+// correlation ID, outcome metadata, and the per-request Recorder whose
+// span tree (ingress span, job span, engine iteration/phase/worker
+// spans) dumps as a Chrome trace via WriteTrace. Records are created by
+// the serving layer for every request — not just slow ones — so when
+// the watchdog flags a request after the fact, the evidence already
+// exists.
+type FlightRecord struct {
+	// ID is the request's correlation ID (X-Request-Id).
+	ID string
+	// Start and Dur time the request end to end.
+	Start time.Time
+	Dur   time.Duration
+	// Status is the HTTP status served; Source the cache disposition
+	// ("hit", "flight", "miss", or "" for failed requests).
+	Status int
+	Source string
+	// Tripped marks requests the engine health watchdog flagged;
+	// TripReason says why ("growth-rate", "memory-watermark").
+	Tripped    bool
+	TripReason string
+	// Recorder holds the request's span tree. Always non-nil for records
+	// the serving layer stores.
+	Recorder *Recorder
+}
+
+// WriteTrace dumps the record's span tree as Chrome trace-event JSON.
+func (fr *FlightRecord) WriteTrace(w io.Writer) error {
+	return fr.Recorder.WriteTrace(w)
+}
+
+// FlightRecorder is a fixed-size ring buffer of the last N FlightRecords
+// — the always-on flight recorder. Memory is bounded by construction:
+// at most N records, each holding one request's spans (tens of events
+// for a typical request; one per rule-task for a traced saturation), so
+// the ring's footprint is N × O(spans per request) regardless of uptime.
+// A nil *FlightRecorder is the disabled recorder: Record is a no-op and
+// lookups return nothing, mirroring the nil-Recorder convention.
+type FlightRecorder struct {
+	mu   sync.Mutex
+	ring []*FlightRecord
+	next int
+	n    uint64 // total records ever stored
+}
+
+// NewFlightRecorder returns a recorder keeping the last size records
+// (size < 1 is clamped to 1).
+func NewFlightRecorder(size int) *FlightRecorder {
+	if size < 1 {
+		size = 1
+	}
+	return &FlightRecorder{ring: make([]*FlightRecord, 0, size)}
+}
+
+// Enabled reports whether records are being kept.
+func (f *FlightRecorder) Enabled() bool { return f != nil }
+
+// Record stores fr, evicting the oldest record once the ring is full.
+func (f *FlightRecorder) Record(fr *FlightRecord) {
+	if f == nil || fr == nil {
+		return
+	}
+	f.mu.Lock()
+	if len(f.ring) < cap(f.ring) {
+		f.ring = append(f.ring, fr)
+	} else {
+		f.ring[f.next] = fr
+		f.next = (f.next + 1) % cap(f.ring)
+	}
+	f.n++
+	f.mu.Unlock()
+}
+
+// Get returns the record with the given request ID (the newest one, if
+// an ID somehow repeats), or nil.
+func (f *FlightRecorder) Get(id string) *FlightRecord {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var found *FlightRecord
+	for _, fr := range f.ring {
+		if fr.ID == id && (found == nil || fr.Start.After(found.Start)) {
+			found = fr
+		}
+	}
+	return found
+}
+
+// Records returns the stored records oldest-first.
+func (f *FlightRecorder) Records() []*FlightRecord {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]*FlightRecord, 0, len(f.ring))
+	// Ring order: [next, end) then [0, next) once wrapped.
+	if len(f.ring) == cap(f.ring) {
+		out = append(out, f.ring[f.next:]...)
+		out = append(out, f.ring[:f.next]...)
+	} else {
+		out = append(out, f.ring...)
+	}
+	return out
+}
+
+// Len returns the number of records currently held.
+func (f *FlightRecorder) Len() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.ring)
+}
+
+// Total returns how many records were ever stored (including evicted).
+func (f *FlightRecorder) Total() uint64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.n
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFlightRecorderRing checks ring semantics: last-N retention,
+// oldest-first listing, ID lookup, and eviction accounting.
+func TestFlightRecorderRing(t *testing.T) {
+	f := NewFlightRecorder(3)
+	base := time.Now()
+	for i := 0; i < 5; i++ {
+		rec := NewRecorder()
+		rec.Complete(LanePipeline, "request", "r", base, time.Millisecond, nil)
+		f.Record(&FlightRecord{
+			ID:       fmt.Sprintf("req-%d", i),
+			Start:    base.Add(time.Duration(i) * time.Second),
+			Recorder: rec,
+		})
+	}
+	if f.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", f.Len())
+	}
+	if f.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", f.Total())
+	}
+	recs := f.Records()
+	var ids []string
+	for _, r := range recs {
+		ids = append(ids, r.ID)
+	}
+	if got := strings.Join(ids, ","); got != "req-2,req-3,req-4" {
+		t.Fatalf("Records = %s, want req-2,req-3,req-4 (oldest first)", got)
+	}
+	if f.Get("req-0") != nil {
+		t.Error("evicted record still retrievable")
+	}
+	if r := f.Get("req-3"); r == nil || r.ID != "req-3" {
+		t.Errorf("Get(req-3) = %+v", r)
+	}
+}
+
+// TestFlightRecordTrace checks a stored record dumps as a valid Chrome
+// trace carrying the request-ID label on its process metadata.
+func TestFlightRecordTrace(t *testing.T) {
+	rec := NewRecorder()
+	rec.SetLabel("request_id", "req-abc")
+	rec.SetLaneName(LaneServe, "serve")
+	start := time.Now()
+	rec.Complete(LaneServe, "request", "optimize", start, 2*time.Millisecond, nil)
+	rec.Complete(LaneEngine, "phase", "match", start, time.Millisecond, nil)
+
+	f := NewFlightRecorder(4)
+	f.Record(&FlightRecord{ID: "req-abc", Start: start, Recorder: rec})
+
+	var buf bytes.Buffer
+	if err := f.Get("req-abc").WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := ValidateTrace(buf.Bytes()); err != nil || n < 2 {
+		t.Fatalf("ValidateTrace = %d, %v\n%s", n, err, buf.String())
+	}
+	if !strings.Contains(buf.String(), `"request_id": "req-abc"`) {
+		t.Errorf("trace missing request_id label:\n%s", buf.String())
+	}
+}
+
+// TestFlightRecorderNil checks the disabled recorder is a safe no-op.
+func TestFlightRecorderNil(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(&FlightRecord{ID: "x"})
+	if f.Enabled() || f.Len() != 0 || f.Get("x") != nil || f.Records() != nil || f.Total() != 0 {
+		t.Error("nil FlightRecorder not inert")
+	}
+}

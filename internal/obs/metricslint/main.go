@@ -1,0 +1,94 @@
+// Command metricslint validates Prometheus text exposition output in CI —
+// the /metrics analogue of its sibling tracelint. It checks name and
+// label syntax, HELP/TYPE presence for every sample, duplicate samples,
+// counter non-negativity, and histogram invariants (cumulative bucket
+// counts, +Inf bucket present and equal to _count, _sum present), and
+// exits non-zero with a diagnostic when the exposition is malformed,
+// which is what `make metrics-smoke` checks.
+//
+// Usage:
+//
+//	metricslint -file metrics.txt
+//	metricslint -url http://127.0.0.1:8080/metrics
+//	metricslint -file a.txt -require egg_watchdog_trips_total
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"time"
+
+	"dialegg/internal/obs/telemetry"
+)
+
+func main() {
+	file := flag.String("file", "", "exposition file to validate")
+	url := flag.String("url", "", "live /metrics endpoint to scrape and validate")
+	require := flag.String("require", "", "comma-separated metric names that must appear as samples")
+	flag.Parse()
+
+	if *file == "" && *url == "" {
+		fmt.Fprintln(os.Stderr, "metricslint: nothing to do; pass -file and/or -url")
+		os.Exit(2)
+	}
+	if *file != "" {
+		data, err := os.ReadFile(*file)
+		fatalIf(err)
+		check(*file, data, *require)
+	}
+	if *url != "" {
+		c := &http.Client{Timeout: 30 * time.Second}
+		resp, err := c.Get(*url)
+		fatalIf(err)
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		fatalIf(err)
+		if resp.StatusCode != http.StatusOK {
+			fatalIf(fmt.Errorf("scraping %s: status %d", *url, resp.StatusCode))
+		}
+		check(*url, data, *require)
+	}
+}
+
+func check(src string, data []byte, require string) {
+	n, err := telemetry.Lint(data)
+	fatalIf(err)
+	for _, name := range splitNonEmpty(require) {
+		// A required metric must appear as a sample line (possibly
+		// labeled or with a histogram suffix), not just in a comment.
+		re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + `(_bucket|_sum|_count)?(\{|[ \t])`)
+		if !re.Match(data) {
+			fatalIf(fmt.Errorf("%s: required metric %s has no samples", src, name))
+		}
+	}
+	fmt.Printf("metrics OK: %s, %d samples\n", src, n)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metricslint:", err)
+		os.Exit(1)
+	}
+}
+
+func splitNonEmpty(s string) []string {
+	var out []string
+	for len(s) > 0 {
+		i := 0
+		for i < len(s) && s[i] != ',' {
+			i++
+		}
+		if part := s[:i]; part != "" {
+			out = append(out, part)
+		}
+		if i == len(s) {
+			break
+		}
+		s = s[i+1:]
+	}
+	return out
+}

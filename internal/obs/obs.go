@@ -63,6 +63,7 @@ type Recorder struct {
 	epoch  time.Time
 	events []Event
 	lanes  map[int]string
+	labels map[string]string
 }
 
 // NewRecorder returns an enabled recorder whose epoch is now.
@@ -91,6 +92,41 @@ func (r *Recorder) SetLaneName(lane int, name string) {
 	r.mu.Lock()
 	r.lanes[lane] = name
 	r.mu.Unlock()
+}
+
+// SetLabel attaches a trace-level string label ("request_id", ...). The
+// labels ride on the trace's process metadata, so every span in the
+// trace — and every consumer of the file — shares them; the serving
+// layer uses one recorder per request with its request ID as a label,
+// which is what correlates a flight-recorder trace with log lines and
+// journal events for the same request.
+func (r *Recorder) SetLabel(key, value string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.labels == nil {
+		r.labels = make(map[string]string)
+	}
+	r.labels[key] = value
+	r.mu.Unlock()
+}
+
+// Labels returns a copy of the trace-level labels (nil when none).
+func (r *Recorder) Labels() map[string]string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.labels) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(r.labels))
+	for k, v := range r.labels {
+		out[k] = v
+	}
+	return out
 }
 
 // Complete records a span that ran from start for dur. args may be nil.

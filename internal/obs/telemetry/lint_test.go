@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLintViolations feeds the linter hand-built expositions that each
+// break exactly one invariant and checks the diagnostic names it.
+func TestLintViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string // "" = must pass
+	}{
+		{
+			"valid minimal",
+			"# HELP a_total things\n# TYPE a_total counter\na_total 3\n",
+			"",
+		},
+		{
+			"valid labeled with escape",
+			"# HELP a_total t\n# TYPE a_total counter\na_total{r=\"x\\\"y\"} 1\n",
+			"",
+		},
+		{
+			"missing TYPE",
+			"# HELP a_total t\na_total 3\n",
+			"no # TYPE",
+		},
+		{
+			"missing HELP",
+			"# TYPE a_total counter\na_total 3\n",
+			"no # HELP",
+		},
+		{
+			"bad metric name",
+			"# HELP 0bad t\n# TYPE 0bad counter\n0bad 3\n",
+			"invalid metric name",
+		},
+		{
+			"bad label name",
+			"# HELP a t\n# TYPE a gauge\na{0bad=\"x\"} 3\n",
+			"invalid label name",
+		},
+		{
+			"unknown type",
+			"# HELP a t\n# TYPE a widget\na 3\n",
+			"unknown type",
+		},
+		{
+			"duplicate TYPE",
+			"# HELP a t\n# TYPE a gauge\n# TYPE a gauge\na 3\n",
+			"duplicate TYPE",
+		},
+		{
+			"duplicate sample",
+			"# HELP a t\n# TYPE a gauge\na{k=\"v\"} 1\na{k=\"v\"} 2\n",
+			"duplicate sample",
+		},
+		{
+			"negative counter",
+			"# HELP a_total t\n# TYPE a_total counter\na_total -1\n",
+			"negative",
+		},
+		{
+			"bad value",
+			"# HELP a t\n# TYPE a gauge\na wat\n",
+			"bad value",
+		},
+		{
+			"non-cumulative buckets",
+			"# HELP h t\n# TYPE h histogram\n" +
+				"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\n" +
+				"h_sum 9\nh_count 5\n",
+			"not cumulative",
+		},
+		{
+			"missing +Inf bucket",
+			"# HELP h t\n# TYPE h histogram\n" +
+				"h_bucket{le=\"1\"} 5\nh_sum 9\nh_count 5\n",
+			"no +Inf bucket",
+		},
+		{
+			"+Inf bucket != count",
+			"# HELP h t\n# TYPE h histogram\n" +
+				"h_bucket{le=\"1\"} 4\nh_bucket{le=\"+Inf\"} 4\nh_sum 9\nh_count 5\n",
+			"!= _count",
+		},
+		{
+			"histogram without sum",
+			"# HELP h t\n# TYPE h histogram\n" +
+				"h_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 5\nh_count 5\n",
+			"no _sum",
+		},
+		{
+			"empty exposition",
+			"# just a comment\n",
+			"no samples",
+		},
+		{
+			"unterminated labels",
+			"# HELP a t\n# TYPE a gauge\na{k=\"v\" 3\n",
+			"unterminated",
+		},
+	}
+	for _, tc := range cases {
+		_, err := Lint([]byte(tc.in))
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error: %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: lint passed, want error containing %q", tc.name, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func scrape(t *testing.T, r *Registry) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	return buf.String()
+}
+
+// TestExpositionShape checks the rendered text carries HELP/TYPE headers,
+// sorted families, exact integer counters, and lints clean.
+func TestExpositionShape(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("egg_requests_total", "Requests accepted.")
+	g := r.NewGauge("egg_inflight", "Jobs executing now.")
+	r.NewGaugeFunc("egg_uptime_seconds", "Seconds since start.", func() float64 { return 12.5 })
+	v := r.NewCounterVec("egg_rule_matched_total", "Matches per rule.", "rule")
+
+	c.Add(41)
+	c.Inc()
+	g.Set(3)
+	v.With("b-rule").Add(7)
+	v.With("a-rule").Add(2)
+
+	out := scrape(t, r)
+	for _, want := range []string{
+		"# HELP egg_requests_total Requests accepted.",
+		"# TYPE egg_requests_total counter",
+		"egg_requests_total 42",
+		"egg_inflight 3",
+		"egg_uptime_seconds 12.5",
+		`egg_rule_matched_total{rule="a-rule"} 2`,
+		`egg_rule_matched_total{rule="b-rule"} 7`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Families sorted by name: inflight < requests_total < rule < uptime.
+	idx := func(s string) int { return strings.Index(out, "# TYPE "+s) }
+	if !(idx("egg_inflight") < idx("egg_requests_total") && idx("egg_requests_total") < idx("egg_rule_matched_total") && idx("egg_rule_matched_total") < idx("egg_uptime_seconds")) {
+		t.Errorf("families not sorted:\n%s", out)
+	}
+	if n, err := Lint([]byte(out)); err != nil || n == 0 {
+		t.Errorf("Lint = %d, %v", n, err)
+	}
+}
+
+// TestHistogramExposition checks bucket cumulativity, the +Inf bucket,
+// sum/count consistency, and lint-cleanliness of a real histogram.
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("egg_request_duration_seconds", "Latency.", 0.001, 2, 10)
+	for _, v := range []float64{0.0005, 0.003, 0.003, 0.1, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-500.1065) > 1e-9 {
+		t.Fatalf("Sum = %g", h.Sum())
+	}
+	out := scrape(t, r)
+	for _, want := range []string{
+		`egg_request_duration_seconds_bucket{le="0.001"} 1`,
+		`egg_request_duration_seconds_bucket{le="0.004"} 3`,
+		`egg_request_duration_seconds_bucket{le="+Inf"} 5`,
+		`egg_request_duration_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("histogram missing %q:\n%s", want, out)
+		}
+	}
+	if n, err := Lint([]byte(out)); err != nil || n == 0 {
+		t.Errorf("Lint = %d, %v", n, err)
+	}
+}
+
+// TestHistogramQuantile checks bucket-derived quantiles: positive for any
+// non-empty histogram, monotone in q, exact-ish under interpolation, and
+// clamped at the top bound for +Inf observations.
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("h", "q", 0.001, 2, 14)
+	if h.Quantile(0.5) != 0 {
+		t.Fatalf("empty histogram p50 = %g, want 0", h.Quantile(0.5))
+	}
+	// 100 observations spread over two buckets: 50 in (0.001, 0.002],
+	// 50 in (0.002, 0.004].
+	for i := 0; i < 50; i++ {
+		h.Observe(0.0015)
+		h.Observe(0.003)
+	}
+	p25, p50, p99 := h.Quantile(0.25), h.Quantile(0.50), h.Quantile(0.99)
+	if !(p25 > 0 && p25 <= p50 && p50 <= p99) {
+		t.Fatalf("quantiles not monotone: p25=%g p50=%g p99=%g", p25, p50, p99)
+	}
+	// p50 is the upper edge of the first occupied bucket (50/100 of mass).
+	if math.Abs(p50-0.002) > 1e-12 {
+		t.Errorf("p50 = %g, want 0.002", p50)
+	}
+	if p99 > 0.004 || p99 <= 0.002 {
+		t.Errorf("p99 = %g, want in (0.002, 0.004]", p99)
+	}
+	// An observation beyond every finite bound clamps to the top bound.
+	h.Observe(1e9)
+	if got, top := h.Quantile(1), 0.001*math.Pow(2, 13); math.Abs(got-top) > top*1e-9 {
+		t.Errorf("p100 with +Inf sample = %g, want top bound %g", got, top)
+	}
+}
+
+// TestConcurrentUpdates hammers every instrument kind from many
+// goroutines; with -race this proves the hot paths are lock-free-safe,
+// and the final counts must be exact.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "c")
+	g := r.NewGauge("g", "g")
+	h := r.NewHistogram("h", "h", 0.001, 4, 8)
+	v := r.NewCounterVec("v_total", "v", "k")
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.01)
+				v.With(fmt.Sprintf("k%d", w%2)).Inc()
+			}
+		}(w)
+	}
+	// Concurrent scrapes must not race with updates.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var buf bytes.Buffer
+			_ = r.WriteText(&buf)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if c.Value() != workers*per {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != workers*per {
+		t.Errorf("gauge = %g, want %d", g.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+	if got := v.With("k0").Value() + v.With("k1").Value(); got != workers*per {
+		t.Errorf("vec total = %d, want %d", got, workers*per)
+	}
+}
+
+// TestNilRegistry checks the disabled registry: constructors still return
+// usable instruments and WriteText writes nothing.
+func TestNilRegistry(t *testing.T) {
+	var r *Registry
+	c := r.NewCounter("c_total", "c")
+	c.Inc()
+	if c.Value() != 1 {
+		t.Errorf("nil-registry counter broken")
+	}
+	h := r.NewHistogram("h", "h", 0.001, 2, 4)
+	h.Observe(1)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil || buf.Len() != 0 {
+		t.Errorf("nil registry wrote %q, err %v", buf.String(), err)
+	}
+}
+
+// TestRegistrationPanics checks invalid names and duplicates are refused
+// loudly at registration time.
+func TestRegistrationPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.NewCounter("ok_total", "ok")
+	expectPanic("bad name", func() { r.NewCounter("0bad", "x") })
+	expectPanic("duplicate", func() { r.NewCounter("ok_total", "x") })
+	expectPanic("bad label", func() { r.NewCounterVec("v_total", "x", "0bad") })
+	expectPanic("bad histogram", func() { r.NewHistogram("h", "x", 0, 2, 4) })
+	expectPanic("label arity", func() {
+		v := r.NewCounterVec("w_total", "x", "a", "b")
+		v.With("only-one")
+	})
+}

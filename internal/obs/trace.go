@@ -47,9 +47,17 @@ func (r *Recorder) WriteTrace(w io.Writer) error {
 		DisplayTimeUnit string `json:"displayTimeUnit"`
 	}
 	f.DisplayTimeUnit = "ms"
+	// Trace-level labels (the per-request recorder's request ID) ride on
+	// the process metadata so every span in the file carries them.
+	procArgs := map[string]string{"name": "dialegg"}
+	for k, v := range r.Labels() {
+		if k != "name" {
+			procArgs[k] = v
+		}
+	}
 	f.TraceEvents = append(f.TraceEvents, metaEvent{
 		Name: "process_name", Ph: "M", PID: tracePID,
-		Args: map[string]string{"name": "dialegg"},
+		Args: procArgs,
 	})
 	lanes := r.LaneNames()
 	laneIDs := make([]int, 0, len(lanes))

@@ -1,21 +1,21 @@
 package serve
 
 import (
-	"math"
-	"sort"
-	"sync"
 	"sync/atomic"
 	"time"
+
+	"dialegg/internal/obs/telemetry"
 )
 
-// latencyWindow is the sliding-sample size the latency quantiles are
-// computed over. Big enough to make p99 meaningful, small enough that a
-// quantile read (copy + sort under the lock) stays cheap.
-const latencyWindow = 2048
-
-// metrics holds the service counters. Counters are atomics (incremented
-// on hot paths); the latency ring is mutex-guarded because observation
-// and quantile reads need consistency.
+// metrics holds the service counters. Counters are atomics incremented on
+// hot paths and exposed to /metrics through scrape-time bridges
+// (telemetry.NewCounterFunc — see instruments); request latency goes into
+// a fixed-log-bucket telemetry histogram instead of the former
+// 2048-sample sliding ring. The histogram is what /metrics exposes as
+// egg_request_duration_seconds, and /statz's p50/p99 are derived from the
+// same buckets — so the two endpoints can never disagree, and bucket
+// counts from N replicas sum correctly on the scraper side (a property
+// the sort-under-lock sample window lacked).
 type metrics struct {
 	requests     atomic.Uint64
 	hits         atomic.Uint64
@@ -27,41 +27,38 @@ type metrics struct {
 	queueFull    atomic.Uint64
 	inflight     atomic.Int64
 
-	mu    sync.Mutex
-	ring  [latencyWindow]time.Duration
-	pos   int
-	count int
+	// latency is the egg_request_duration_seconds histogram: log-spaced
+	// upper bounds from 100µs doubling up to ~52s, then +Inf. Observation
+	// is two atomic adds — no lock, no sort.
+	latency *telemetry.Histogram
 }
 
-// observe records one request's latency in the sliding window.
+// Request-duration histogram layout.
+const (
+	latencyStart   = 100e-6 // 100µs first bucket
+	latencyFactor  = 2.0
+	latencyBuckets = 20 // top finite bound ≈ 52.4s
+)
+
+// newLatencyHistogram registers the request-duration histogram on reg
+// (nil reg yields an unregistered but fully functional histogram).
+func newLatencyHistogram(reg *telemetry.Registry) *telemetry.Histogram {
+	return reg.NewHistogram("egg_request_duration_seconds",
+		"End-to-end /optimize latency in seconds (including cache hits).",
+		latencyStart, latencyFactor, latencyBuckets)
+}
+
+// observe records one request's latency.
 func (m *metrics) observe(d time.Duration) {
-	m.mu.Lock()
-	m.ring[m.pos] = d
-	m.pos = (m.pos + 1) % latencyWindow
-	if m.count < latencyWindow {
-		m.count++
-	}
-	m.mu.Unlock()
+	m.latency.Observe(d.Seconds())
 }
 
-// quantiles returns the q-quantiles (0..1, ascending) of the window in
-// one sort. Returns zeros when nothing has been observed.
+// quantiles returns the q-quantiles (0..1) of the latency distribution,
+// interpolated within histogram buckets. Zeros when nothing observed.
 func (m *metrics) quantiles(qs ...float64) []time.Duration {
 	out := make([]time.Duration, len(qs))
-	m.mu.Lock()
-	n := m.count
-	sample := make([]time.Duration, n)
-	copy(sample, m.ring[:n])
-	m.mu.Unlock()
-	if n == 0 {
-		return out
-	}
-	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
 	for i, q := range qs {
-		// Ceiling index so high quantiles report the tail even at small n
-		// (p99 of two samples is the max, not the min).
-		idx := int(math.Ceil(q * float64(n-1)))
-		out[i] = sample[idx]
+		out[i] = time.Duration(m.latency.Quantile(q) * float64(time.Second))
 	}
 	return out
 }

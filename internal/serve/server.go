@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync"
@@ -18,6 +19,7 @@ import (
 	"dialegg/internal/memo"
 	"dialegg/internal/mlir"
 	"dialegg/internal/obs"
+	"dialegg/internal/obs/telemetry"
 )
 
 // ErrQueueFull is returned (and mapped to 503) when the job queue is at
@@ -53,7 +55,20 @@ type Config struct {
 	MaxBodyBytes int64
 	// Recorder, when non-nil, receives per-request spans on
 	// obs.LaneServe. A nil recorder records nothing and costs nothing.
+	// Independent of it, every request gets its own private recorder for
+	// the flight recorder's ring.
 	Recorder *obs.Recorder
+	// Logger receives structured request logs and watchdog warnings
+	// (default: discard). Each line carries the request's correlation ID.
+	Logger *slog.Logger
+	// SlowThreshold, when > 0, logs /optimize requests at Warn (and
+	// counts egg_slow_requests_total) once they exceed it.
+	SlowThreshold time.Duration
+	// FlightSize bounds the always-on flight recorder ring (default 32
+	// requests; < 0 disables it).
+	FlightSize int
+	// Watchdog tunes the engine health watchdog (zero value = defaults).
+	Watchdog WatchdogConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -72,6 +87,13 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
 	}
+	if c.Logger == nil {
+		c.Logger = discardLogger()
+	}
+	if c.FlightSize == 0 {
+		c.FlightSize = 32
+	}
+	c.Watchdog = c.Watchdog.withDefaults()
 	return c
 }
 
@@ -80,6 +102,7 @@ func (c Config) withDefaults() Config {
 type job struct {
 	ctx  context.Context
 	work *workItem
+	obs  *requestObs // the singleflight leader's observability context
 	done chan struct{}
 	resp []byte
 	err  error
@@ -106,26 +129,48 @@ type Server struct {
 	stop      chan struct{} // closed by Drain; workers finish the queue and exit
 	metrics   metrics
 	mux       *http.ServeMux
+	handler   http.Handler // mux wrapped in the request-ID/logging middleware
 	draining  atomic.Bool
 	reqWG     sync.WaitGroup // in-flight HTTP handlers
 	workerWG  sync.WaitGroup // worker goroutines
 	drainOnce sync.Once
+
+	// Telemetry plane: Prometheus registry + live instruments, structured
+	// logger, always-on flight recorder, queue-age tracking, start time.
+	reg       *telemetry.Registry
+	tel       *instruments
+	logger    *slog.Logger
+	flight    *obs.FlightRecorder
+	queueAges queueAges
+	start     time.Time
 }
 
 // New builds a Server and starts its worker pool.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		cache: memo.NewCache(cfg.CacheBytes),
-		group: memo.NewGroup(),
-		queue: make(chan *job, cfg.QueueSize),
-		stop:  make(chan struct{}),
-		mux:   http.NewServeMux(),
+		cfg:    cfg,
+		cache:  memo.NewCache(cfg.CacheBytes),
+		group:  memo.NewGroup(),
+		queue:  make(chan *job, cfg.QueueSize),
+		stop:   make(chan struct{}),
+		mux:    http.NewServeMux(),
+		reg:    telemetry.NewRegistry(),
+		logger: cfg.Logger,
+		start:  time.Now(),
 	}
+	if cfg.FlightSize > 0 {
+		s.flight = obs.NewFlightRecorder(cfg.FlightSize)
+	}
+	s.metrics.latency = newLatencyHistogram(s.reg)
+	s.tel = newInstruments(s)
 	s.mux.HandleFunc("/optimize", s.handleOptimize)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/statz", s.handleStatz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/buildz", s.handleBuildz)
+	s.mux.HandleFunc("/debugz/flightz", s.handleFlightz)
+	s.handler = s.withRequestMeta(s.mux)
 	if cfg.Recorder.Enabled() {
 		cfg.Recorder.SetLaneName(obs.LaneServe, "serve")
 	}
@@ -137,7 +182,11 @@ func New(cfg Config) *Server {
 }
 
 // Handler returns the service's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Registry returns the server's metric registry (for embedding callers
+// that want to add their own instruments or scrape programmatically).
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
 
 // Drain gracefully stops the server: new optimize requests are rejected
 // with 503, in-flight handlers run to completion (bounded by ctx), then
@@ -278,15 +327,31 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.metrics.requests.Add(1)
+	// Per-request observability context: the correlation ID assigned at
+	// ingress plus a private span recorder. If this request becomes the
+	// singleflight leader, the recorder also collects the engine's spans;
+	// either way the flight recorder keeps the last FlightSize of these.
+	// Created before the request clock starts so every span timestamp is
+	// >= the recorder's epoch.
+	ro := &requestObs{id: requestIDFrom(r.Context()), rec: obs.NewRecorder()}
 	start := time.Now()
 	source := "hit"
+	status := http.StatusOK
+	ro.rec.SetLabel("request_id", ro.id)
+	ro.rec.SetLaneName(obs.LaneServe, "serve")
 	defer func() {
-		s.metrics.observe(time.Since(start))
+		dur := time.Since(start)
+		s.metrics.observe(dur)
+		cached := int64(map[string]int{"hit": 1, "flight": 2, "miss": 0}[source])
+		ro.rec.Complete(obs.LaneServe, "request", work.key[:12], start, dur, map[string]int64{"cached": cached})
 		if rec := s.cfg.Recorder; rec.Enabled() {
-			rec.Complete(obs.LaneServe, "request", work.key[:12], start, time.Since(start), map[string]int64{
-				"cached": int64(map[string]int{"hit": 1, "flight": 2, "miss": 0}[source]),
-			})
+			rec.Complete(obs.LaneServe, "request", work.key[:12], start, dur, map[string]int64{"cached": cached})
 		}
+		tripped, reason := ro.tripState()
+		s.flight.Record(&obs.FlightRecord{
+			ID: ro.id, Start: start, Dur: dur, Status: status, Source: source,
+			Tripped: tripped, TripReason: reason, Recorder: ro.rec,
+		})
 	}()
 
 	if val, ok := s.cache.Get(work.key); ok {
@@ -296,7 +361,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	}
 
 	val, shared, err := s.group.Do(r.Context(), work.key, func(fctx context.Context) ([]byte, error) {
-		resp, ferr := s.execute(fctx, work)
+		resp, ferr := s.execute(fctx, work, ro)
 		if ferr == nil {
 			s.cache.Add(work.key, resp)
 		}
@@ -313,14 +378,17 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		}
 		s.writeResult(w, source, val)
 	case errors.Is(err, ErrQueueFull):
+		source, status = "queue-full", http.StatusServiceUnavailable
 		s.metrics.queueFull.Add(1)
 		w.Header().Set("Retry-After", "1")
 		s.failf(w, http.StatusServiceUnavailable, "optimization queue is full")
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		source, status = "canceled", statusClientClosedRequest
 		s.metrics.canceled.Add(1)
 		// Best effort: the client is usually gone.
 		writeJSON(w, statusClientClosedRequest, ErrorResponse{Error: "request canceled"})
 	default:
+		source, status = "error", http.StatusUnprocessableEntity
 		s.failf(w, http.StatusUnprocessableEntity, "optimization failed: %v", err)
 	}
 }
@@ -336,10 +404,11 @@ func (s *Server) writeResult(w http.ResponseWriter, source string, val []byte) {
 // singleflight goroutine with the flight's refcounted context: fctx dies
 // only when every request waiting on this computation has gone away, at
 // which point the worker (or the queued job) observes it and stops.
-func (s *Server) execute(fctx context.Context, work *workItem) ([]byte, error) {
-	j := &job{ctx: fctx, work: work, done: make(chan struct{})}
+func (s *Server) execute(fctx context.Context, work *workItem, ro *requestObs) ([]byte, error) {
+	j := &job{ctx: fctx, work: work, obs: ro, done: make(chan struct{})}
 	select {
 	case s.queue <- j:
+		s.queueAges.push(time.Now())
 	default:
 		return nil, ErrQueueFull
 	}
@@ -377,6 +446,7 @@ func (s *Server) worker() {
 // runJob executes one optimization on a worker goroutine.
 func (s *Server) runJob(j *job) {
 	defer close(j.done)
+	s.queueAges.pop()
 	// Abandoned while queued: every waiter left, don't burn the worker.
 	if err := j.ctx.Err(); err != nil {
 		j.err = err
@@ -395,6 +465,15 @@ func (s *Server) runJob(j *job) {
 		return
 	}
 	cfg := j.work.cfg
+	// Correlate and observe: the run carries the leader's request ID
+	// (stamped on journal events and trace labels), records its engine
+	// spans into the leader's private recorder, and feeds the live gauges
+	// + watchdog through the serve-layer LiveSink.
+	if j.obs != nil {
+		cfg.RequestID = j.obs.id
+		cfg.Recorder = j.obs.rec
+	}
+	cfg.Live = s.newLiveSink(j.obs)
 	opt := dialegg.NewOptimizer(dialegg.Options{
 		RuleSources: j.work.rules,
 		RunConfig:   cfg,
@@ -404,11 +483,16 @@ func (s *Server) runJob(j *job) {
 	if rep != nil && rep.Run.Stop == egraph.StopCanceled {
 		s.metrics.stopCanceled.Add(1)
 	}
+	var iters int64
+	if rep != nil {
+		iters = int64(rep.Run.Iterations)
+	}
+	if j.obs != nil {
+		j.obs.rec.Complete(obs.LaneServe, "job", j.work.key[:12], start, time.Since(start), map[string]int64{
+			"iterations": iters,
+		})
+	}
 	if rec := s.cfg.Recorder; rec.Enabled() {
-		var iters int64
-		if rep != nil {
-			iters = int64(rep.Run.Iterations)
-		}
 		rec.Complete(obs.LaneServe, "job", j.work.key[:12], start, time.Since(start), map[string]int64{
 			"iterations": iters,
 		})
