@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet fmt bench bench-smoke trace-smoke debug-smoke serve-smoke metrics-smoke fuzz-smoke fuzz-nightly examples fig3 tables full clean
+.PHONY: all build test test-race vet fmt bench bench-smoke trace-smoke debug-smoke serve-smoke metrics-smoke prof-smoke fuzz-smoke fuzz-nightly examples fig3 tables full clean
 
 all: build vet test test-race
 
@@ -34,11 +34,14 @@ bench:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
 # One-shot pass over the saturation benchmarks (cheap smoke signal that
-# the hot paths still run), then the naive-vs-semi-naive row-visit
-# comparison, refreshing BENCH_2.json.
+# the hot paths still run), then the perf-regression gate: remeasure the
+# naive-vs-semi-naive row visits into a scratch artifact and compare it
+# against the committed BENCH_3.json baseline. Deterministic counters
+# (rows scanned, iterations) must not grow beyond tolerance.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'Saturate|EMatch|Rebuild|Extract' -benchtime=1x ./internal/egraph/ ./internal/bench/
-	$(GO) run ./cmd/benchtab -bench2
+	$(GO) run ./cmd/benchtab -bench2 -bench2-out bench2_fresh.json
+	$(GO) run ./cmd/benchtab -compare BENCH_3.json bench2_fresh.json
 
 # Observability smoke: run egg-opt with tracing, metrics, and profiling
 # enabled on a real example, then lint the artifacts (Chrome-trace shape,
@@ -82,6 +85,23 @@ metrics-smoke:
 	$(GO) run ./internal/obs/tracelint -trace flight.trace.json
 	@echo "metrics-smoke: OK (metrics.txt, flight.trace.json)"
 
+# Profiler smoke: run the paper benchmark with a saturation profile,
+# journal, and stats, lint the artifact, render the blame and selectivity
+# reports, then rebuild an equivalent profile offline from the journal +
+# stats (the two ingestion paths must both lint).
+prof-smoke:
+	$(GO) run ./cmd/egg-opt -rules imgconv -workers 2 \
+		-profile profile.json -profile-sample 2 \
+		-journal journal.jsonl -stats-json stats.json \
+		examples/div_pow2.mlir > /dev/null
+	$(GO) run ./cmd/egg-prof lint profile.json
+	$(GO) run ./cmd/egg-prof blame profile.json
+	$(GO) run ./cmd/egg-prof selectivity profile.json
+	$(GO) run ./cmd/egg-prof top -n 5 profile.json
+	$(GO) run ./cmd/egg-prof build -journal journal.jsonl -stats stats.json -o profile.merged.json
+	$(GO) run ./cmd/egg-prof lint profile.merged.json
+	@echo "prof-smoke: OK (profile.json, profile.merged.json)"
+
 # Differential fuzzing smoke: replay the checked-in repro corpus (fixed
 # regressions must stay fixed, expect-fail entries must stay caught —
 # they pin the oracle's detection power), then a short fresh fuzz over
@@ -120,4 +140,6 @@ full:
 clean:
 	rm -f test_output.txt bench_output.txt trace.json stats.json cpu.pprof mem.pprof \
 		journal.jsonl snapshot.json egraph.dot extraction.txt \
-		metrics.txt flight.trace.json
+		metrics.txt flight.trace.json \
+		profile.json profile.merged.json bench2_fresh.json
+	rm -rf fuzz-repros

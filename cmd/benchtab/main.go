@@ -10,6 +10,7 @@
 //	benchtab -fig3       # only Figure 3
 //	benchtab -table2 -chains 10,20,40,80
 //	benchtab -bench2     # naive vs semi-naive matching -> BENCH_2.json
+//	benchtab -compare BENCH_2.json BENCH_3.json   # perf-regression gate
 //
 // Observability: --stats prints each benchmark's saturation and per-rule
 // metrics to stderr (tables stay on stdout); --stats-json writes every
@@ -34,11 +35,33 @@ func main() {
 	table2 := flag.Bool("table2", false, "regenerate Table 2")
 	bench2 := flag.Bool("bench2", false, "compare naive vs semi-naive matching and write BENCH_2.json")
 	bench2Out := flag.String("bench2-out", "BENCH_2.json", "output path for -bench2")
+	compare := flag.Bool("compare", false, "compare two bench2 artifacts: benchtab -compare old.json new.json (nonzero exit on regressions)")
+	compareTol := flag.Float64("compare-tol", 0.05, "fractional growth in deterministic row counts tolerated by -compare before failing")
 	full := flag.Bool("full", false, "use the paper's full workload sizes")
 	chains := flag.String("chains", "10,20,40,80", "NMM scalability chain lengths for Table 2")
 	stats := flag.Bool("stats", false, "print per-benchmark saturation and per-rule metrics to stderr")
 	statsJSON := flag.String("stats-json", "", "write all section results (with optimization reports) as JSON to this file")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fatalIf(fmt.Errorf("-compare needs exactly two artifacts: benchtab -compare old.json new.json"))
+		}
+		oldRows, err := bench.ReadBench2JSON(flag.Arg(0))
+		fatalIf(err)
+		newRows, err := bench.ReadBench2JSON(flag.Arg(1))
+		fatalIf(err)
+		rows, regressions := bench.CompareBench2(oldRows, newRows, *compareTol)
+		fmt.Print(bench.FormatCompare(rows))
+		if len(regressions) > 0 {
+			for _, r := range regressions {
+				fmt.Fprintln(os.Stderr, "benchtab: REGRESSION:", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("no regressions (tolerance %.1f%%)\n", 100**compareTol)
+		return
+	}
 
 	if !*fig3 && !*table1 && !*table2 && !*bench2 {
 		*fig3, *table1, *table2 = true, true, true

@@ -16,7 +16,9 @@
 // writes the same data as machine-readable JSON; --trace writes a Chrome
 // trace-event file loadable in Perfetto or chrome://tracing with pipeline,
 // engine, and match-worker lanes; -cpuprofile/-memprofile write pprof
-// profiles.
+// profiles; -profile writes a saturation-profile artifact (per-rule
+// cost/benefit counters joined with extraction blame, plus sampled
+// premise selectivity with -profile-sample N) readable by egg-prof.
 //
 // Time travel: -journal records every e-graph mutation as a JSONL event
 // log replayable with cmd/egg-debug, -snapshot-every N embeds a
@@ -40,6 +42,7 @@ import (
 	"dialegg/internal/mlir"
 	"dialegg/internal/obs"
 	"dialegg/internal/obs/journal"
+	"dialegg/internal/obs/profile"
 	"dialegg/internal/passes"
 	"dialegg/internal/rules"
 )
@@ -73,6 +76,9 @@ type options struct {
 	journalFile   string
 	snapshotEvery int
 	explainExtr   bool
+
+	profileFile   string
+	profileSample int
 }
 
 func main() {
@@ -98,6 +104,8 @@ func main() {
 	flag.StringVar(&opts.journalFile, "journal", "", "write an e-graph event journal (JSONL, replayable with egg-debug) to this file")
 	flag.IntVar(&opts.snapshotEvery, "snapshot-every", 0, "embed an e-graph snapshot in the journal every N saturation iterations (0 = none)")
 	flag.BoolVar(&opts.explainExtr, "explain-extraction", false, "print an extraction-decision report for every rewritten operation to stderr")
+	flag.StringVar(&opts.profileFile, "profile", "", "write a saturation-profile artifact (per-rule cost/benefit + extraction blame; egg-prof readable) to this file")
+	flag.IntVar(&opts.profileSample, "profile-sample", 0, "sample every Nth match root for premise-selectivity statistics in the profile (0 = off)")
 	flag.Parse()
 	opts.eggFiles = eggFiles
 
@@ -198,19 +206,21 @@ func run(opts options) (err error) {
 		opt := dialegg.NewOptimizer(dialegg.Options{
 			RuleSources: ruleSrcs,
 			RunConfig: egraph.RunConfig{
-				IterLimit:   opts.iterLimit,
-				NodeLimit:   opts.nodeLimit,
-				TimeLimit:   opts.timeLimit,
-				Workers:     opts.workers,
-				Naive:       opts.naive,
-				RuleMetrics: opts.stats || opts.statsJSON != "",
-				Recorder:    rec,
+				IterLimit:     opts.iterLimit,
+				NodeLimit:     opts.nodeLimit,
+				TimeLimit:     opts.timeLimit,
+				Workers:       opts.workers,
+				Naive:         opts.naive,
+				RuleMetrics:   opts.stats || opts.statsJSON != "" || opts.profileFile != "",
+				ProfileSample: opts.profileSample,
+				Recorder:      rec,
 			},
 			KeepEggProgram:    opts.emitEgg,
 			ExplainRewrites:   opts.explain,
 			Journal:           jw,
 			SnapshotEvery:     opts.snapshotEvery,
 			ExplainExtraction: opts.explainExtr,
+			Blame:             opts.profileFile != "",
 		})
 		rep, err := opt.OptimizeModule(m)
 		if err != nil {
@@ -236,6 +246,13 @@ func run(opts options) (err error) {
 		if opts.statsJSON != "" {
 			if err := obs.WriteJSONFile(opts.statsJSON, rep); err != nil {
 				return fmt.Errorf("writing stats JSON: %w", err)
+			}
+		}
+		if opts.profileFile != "" {
+			prof := profile.FromRunReport(rep.Run, rep.Blame)
+			prof.Sources = []string{"live"}
+			if err := prof.Write(opts.profileFile); err != nil {
+				return fmt.Errorf("writing profile: %w", err)
 			}
 		}
 	}

@@ -14,7 +14,10 @@
 // latency quantiles, cache accounting), GET /metrics (Prometheus text
 // exposition), GET /buildz (build metadata + uptime), GET
 // /debugz/flightz (always-on flight recorder: last N requests; ?id=
-// dumps one request's span tree as a Chrome trace).
+// dumps one request's span tree as a Chrome trace), GET /debugz/profilez
+// (with -profile: the live aggregate saturation profile — per-rule
+// cost/benefit counters and extraction blame in the egg-prof artifact
+// schema, plus links from recent slow requests to their flight traces).
 //
 // Every request carries a correlation ID: an inbound X-Request-Id is
 // honored, otherwise one is generated at ingress; the ID is echoed on
@@ -33,9 +36,10 @@
 // start, optimize twice (miss then cache hit), verify, drain — and
 // exits; CI uses it as the serving smoke test. -metrics-smoke does the
 // same for the telemetry plane: it fires normal and watchdog-tripping
-// traffic, scrapes /metrics, /buildz, and /debugz/flightz, writes the
-// exposition and the tripped request's flight trace to -smoke-dir, and
-// exits nonzero if any check fails (CI lints the written artifacts).
+// traffic, scrapes /metrics, /buildz, /debugz/flightz, and
+// /debugz/profilez, writes the exposition, the tripped request's flight
+// trace, and the live profile artifact to -smoke-dir, and exits nonzero
+// if any check fails (CI lints the written artifacts).
 package main
 
 import (
@@ -55,6 +59,7 @@ import (
 	"time"
 
 	"dialegg/internal/obs"
+	"dialegg/internal/obs/profile"
 	"dialegg/internal/obs/telemetry"
 	"dialegg/internal/rules"
 	"dialegg/internal/serve"
@@ -79,6 +84,8 @@ func main() {
 	wdWindow := flag.Int("watchdog-window", 0, "consecutive explosive iterations before the watchdog trips (0 = default 3)")
 	wdMemMB := flag.Int("watchdog-mem-mb", 0, "also trip the watchdog above this heap watermark in MiB (0 disables)")
 	noWatchdog := flag.Bool("no-watchdog", false, "disable the engine health watchdog")
+	profileFlag := flag.Bool("profile", false, "aggregate a live saturation profile (per-rule cost/benefit + blame) served at /debugz/profilez; adds per-run RuleMetrics overhead")
+	profileSample := flag.Int("profile-sample", 0, "sample every Nth match root for premise-selectivity statistics in the live profile (0 = off; needs -profile)")
 	flag.Parse()
 
 	logger, err := buildLogger(*logMode)
@@ -101,6 +108,8 @@ func main() {
 					GrowthWindow: *wdWindow,
 					MemBytes:     uint64(*wdMemMB) << 20,
 				},
+				Profile:       *profileFlag,
+				ProfileSample: *profileSample,
 			}
 			switch {
 			case *metricsSmoke:
@@ -303,6 +312,12 @@ func runMetricsSmoke(cfg serve.Config, dir string, drainTimeout time.Duration) e
 	// Deterministic trip thresholds: the chain workload at least doubles
 	// every early iteration, so 2 consecutive >=1.5x iterations always fire.
 	cfg.Watchdog = serve.WatchdogConfig{GrowthFactor: 1.5, GrowthWindow: 2}
+	// Exercise the whole profiler plane: every job profiles with sampled
+	// selectivity, and a 1ns slow threshold guarantees each executed job
+	// links into the profile's slow-request section.
+	cfg.Profile = true
+	cfg.ProfileSample = 2
+	cfg.SlowThreshold = time.Nanosecond
 	s := serve.New(cfg)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -419,13 +434,49 @@ func runMetricsSmoke(cfg serve.Config, dir string, drainTimeout time.Duration) e
 		return err
 	}
 
+	// The live aggregate profile lints against the artifact schema, links
+	// its slow requests back to resolvable flight records, and is
+	// persisted for the CLI gate (egg-prof lint re-validates it).
+	profilez, code, err := smokeGet(ctx, base+"/debugz/profilez")
+	if err != nil || code != http.StatusOK {
+		return fmt.Errorf("metrics-smoke: GET /debugz/profilez (status %d): %w", code, err)
+	}
+	var pz struct {
+		Profile      profile.Profile `json:"profile"`
+		SlowRequests []struct {
+			ID      string `json:"id"`
+			Flightz string `json:"flightz"`
+		} `json:"slow_requests"`
+	}
+	if err := json.Unmarshal(profilez, &pz); err != nil {
+		return fmt.Errorf("metrics-smoke: decoding profilez: %w", err)
+	}
+	if err := pz.Profile.Lint(); err != nil {
+		return fmt.Errorf("metrics-smoke: live profile fails lint: %w", err)
+	}
+	if pz.Profile.Runs == 0 || len(pz.Profile.Rules) == 0 || len(pz.Profile.Blame) == 0 || len(pz.Profile.Selectivity) == 0 {
+		return fmt.Errorf("metrics-smoke: live profile missing sections: %s", profilez)
+	}
+	if len(pz.SlowRequests) == 0 {
+		return fmt.Errorf("metrics-smoke: profilez has no slow-request links despite 1ns threshold")
+	}
+	for _, sr := range pz.SlowRequests {
+		if _, code, err := smokeGet(ctx, base+sr.Flightz); err != nil || code != http.StatusOK {
+			return fmt.Errorf("metrics-smoke: slow-request link %s unresolvable (status %d): %w", sr.Flightz, code, err)
+		}
+	}
+	profilePath := filepath.Join(dir, "profile.json")
+	if err := pz.Profile.Write(profilePath); err != nil {
+		return err
+	}
+
 	dctx, dcancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer dcancel()
 	s.Drain(dctx)
 	if err := hs.Shutdown(dctx); err != nil {
 		return fmt.Errorf("metrics-smoke: shutdown: %w", err)
 	}
-	fmt.Printf("metrics-smoke: OK (%d samples -> %s, 1 watchdog trip, %d-event flight trace -> %s)\n",
-		samples, metricsPath, events, tracePath)
+	fmt.Printf("metrics-smoke: OK (%d samples -> %s, 1 watchdog trip, %d-event flight trace -> %s, %d-rule profile -> %s)\n",
+		samples, metricsPath, events, tracePath, len(pz.Profile.Rules), profilePath)
 	return nil
 }

@@ -14,7 +14,9 @@
 // Observability: --stats prints run statistics (with a per-rule table) to
 // stderr so stdout stays pipeable results; --stats-json writes the last
 // run's report as JSON; --trace writes a Chrome trace-event file
-// (Perfetto-loadable); -cpuprofile/-memprofile write pprof profiles.
+// (Perfetto-loadable); -cpuprofile/-memprofile write pprof profiles;
+// -profile writes a saturation-profile artifact aggregating every (run)
+// with blame analysis over every (extract) root, readable by egg-prof.
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 	"dialegg/internal/egraph"
 	"dialegg/internal/obs"
 	"dialegg/internal/obs/journal"
+	"dialegg/internal/obs/profile"
 	"dialegg/internal/sexp"
 )
 
@@ -43,6 +46,9 @@ type options struct {
 	journalFile   string
 	snapshotEvery int
 	explainExtr   bool
+
+	profileFile   string
+	profileSample int
 }
 
 func main() {
@@ -57,6 +63,8 @@ func main() {
 	flag.StringVar(&opts.journalFile, "journal", "", "write an e-graph event journal (JSONL, replayable with egg-debug) to this file")
 	flag.IntVar(&opts.snapshotEvery, "snapshot-every", 0, "embed an e-graph snapshot in the journal every N saturation iterations (0 = none)")
 	flag.BoolVar(&opts.explainExtr, "explain-extraction", false, "print an extraction-decision report for every (extract ...) to stderr")
+	flag.StringVar(&opts.profileFile, "profile", "", "write a saturation-profile artifact (per-rule cost/benefit + extraction blame; egg-prof readable) to this file")
+	flag.IntVar(&opts.profileSample, "profile-sample", 0, "sample every Nth match root for premise-selectivity statistics in the profile (0 = off)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
@@ -127,11 +135,17 @@ func run(opts options) (err error) {
 	}
 	p.RunDefaults.Workers = opts.workers
 	p.RunDefaults.Naive = opts.naive
-	p.RunDefaults.RuleMetrics = opts.stats || opts.statsJSON != ""
+	p.RunDefaults.RuleMetrics = opts.stats || opts.statsJSON != "" || opts.profileFile != ""
 	p.RunDefaults.SnapshotEvery = opts.snapshotEvery
+	p.RunDefaults.ProfileSample = opts.profileSample
 	if opts.traceFile != "" {
 		p.RunDefaults.Recorder = obs.NewRecorder()
 	}
+	// Aggregate every (run ...) report and remember every (extract ...)
+	// root so -profile can fold the whole program into one artifact and
+	// join blame analysis against the extraction decisions.
+	var profRuns egraph.RunReport
+	var extractRoots []*sexp.Node
 	// Execute command by command so results interleave with their
 	// commands, like the reference egglog REPL.
 	for _, n := range nodes {
@@ -144,7 +158,13 @@ func run(opts options) (err error) {
 			case "run", "run-schedule":
 				fmt.Printf("ran %d iterations; stop: %s; %d e-nodes, %d e-classes\n",
 					r.Report.Iterations, r.Report.Stop, r.Report.Nodes, r.Report.Classes)
+				if opts.profileFile != "" {
+					profRuns.Merge(r.Report)
+				}
 			case "extract":
+				if opts.profileFile != "" && len(n.Args()) > 0 {
+					extractRoots = append(extractRoots, n.Args()[0])
+				}
 				if opts.explainExtr && len(n.Args()) > 0 {
 					rep, err := p.ExtractionDecisions(n.Args()[0], 3)
 					if err != nil {
@@ -197,6 +217,20 @@ func run(opts options) (err error) {
 	if opts.statsJSON != "" {
 		if err := obs.WriteJSONFile(opts.statsJSON, p.LastRun); err != nil {
 			return fmt.Errorf("writing stats JSON: %w", err)
+		}
+	}
+	if opts.profileFile != "" {
+		var blame []egraph.BlameRow
+		if len(extractRoots) > 0 {
+			blame, err = p.Blame(extractRoots...)
+			if err != nil {
+				return fmt.Errorf("blame analysis: %w", err)
+			}
+		}
+		prof := profile.FromRunReport(profRuns, blame)
+		prof.Sources = []string{"live"}
+		if err := prof.Write(opts.profileFile); err != nil {
+			return fmt.Errorf("writing profile: %w", err)
 		}
 	}
 	if rec := p.RunDefaults.Recorder; rec.Enabled() {

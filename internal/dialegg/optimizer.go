@@ -57,6 +57,14 @@ type Options struct {
 	// ExtractionTopK bounds the rejected alternatives listed per e-class in
 	// extraction reports (0 = a default of 3, negative = all).
 	ExtractionTopK int
+	// Blame runs extraction blame analysis after each function's
+	// extraction, joining per-row rule provenance against the extraction
+	// decisions (Report.Blame): every constructor row a rule created is
+	// classified as extracted, rejected, or pure waste. This is the
+	// cost/benefit join the saturation profiler renders; it costs one
+	// extra graph walk per function. Enable RunConfig.RuleMetrics too for
+	// the matching cost side.
+	Blame bool
 }
 
 // Report records one optimization run, matching the paper's Table 2
@@ -93,6 +101,10 @@ type Report struct {
 	// ExtractCost is the cost of the extracted program under the e-graph
 	// cost model.
 	ExtractCost int64 `json:"extract_cost"`
+	// Blame holds the per-rule extraction blame rows when Options.Blame is
+	// set; for a module it is the per-function results folded with
+	// egraph.MergeBlame.
+	Blame []egraph.BlameRow `json:"blame,omitempty"`
 	// EggProgram is the generated program text when KeepEggProgram is set.
 	EggProgram string `json:"-"`
 	// RewriteExplanations holds one rendered proof per rewritten operation
@@ -126,6 +138,7 @@ func (r *Report) merge(o *Report) {
 		r.NumRules = o.NumRules
 	}
 	r.Run.Merge(o.Run)
+	r.Blame = egraph.MergeBlame(r.Blame, o.Blame)
 	if o.EggProgram != "" {
 		if r.EggProgram != "" {
 			r.EggProgram += "\n"
@@ -189,6 +202,7 @@ func (o *Optimizer) OptimizeFuncCtx(ctx context.Context, f *mlir.Operation) (*ml
 	// rule sources trace and report like the pipeline's own saturation.
 	p.RunDefaults.Recorder = rec
 	p.RunDefaults.RuleMetrics = o.opts.RunConfig.RuleMetrics
+	p.RunDefaults.ProfileSample = o.opts.RunConfig.ProfileSample
 	if o.opts.Journal.Enabled() {
 		// Attach before any declarations so the function's graph segment
 		// captures the prelude onward and is replayable from scratch.
@@ -289,6 +303,13 @@ func (o *Optimizer) OptimizeFuncCtx(ctx context.Context, f *mlir.Operation) (*ml
 			"cost":     cost,
 			"dag_cost": report.ExtractDAGCost,
 		})
+	}
+	if o.opts.Blame {
+		blame, berr := p.Blame(rootExpr)
+		if berr != nil {
+			return nil, nil, fmt.Errorf("dialegg: blame analysis: %w", berr)
+		}
+		report.Blame = blame
 	}
 	report.EggTotal += time.Since(startEgg)
 

@@ -428,6 +428,9 @@ func (p *Program) RunRules(cfg egraph.RunConfig) egraph.RunReport {
 	if cfg.SnapshotEvery == 0 {
 		cfg.SnapshotEvery = p.RunDefaults.SnapshotEvery
 	}
+	if cfg.ProfileSample == 0 {
+		cfg.ProfileSample = p.RunDefaults.ProfileSample
+	}
 	p.LastRun = p.g.Run(p.rules, cfg)
 	return p.LastRun
 }
@@ -458,6 +461,24 @@ func (p *Program) ExtractValue(v egraph.Value) (*sexp.Node, int64, error) {
 	p.g.Rebuild()
 	ex := egraph.NewExtractor(p.g)
 	return ex.Extract(v)
+}
+
+// Blame evaluates each expr to an extraction root and runs blame analysis
+// over the set (see egraph.Extractor.Blame): every live constructor row is
+// classified as extracted, rejected, or waste, aggregated per creating
+// rule. The profiler's cost/benefit join uses this as the "benefit" side.
+func (p *Program) Blame(exprs ...*sexp.Node) ([]egraph.BlameRow, error) {
+	roots := make([]egraph.Value, 0, len(exprs))
+	for _, e := range exprs {
+		v, err := p.EvalExpr(e)
+		if err != nil {
+			return nil, err
+		}
+		roots = append(roots, v)
+	}
+	p.g.Rebuild()
+	ex := egraph.NewExtractor(p.g)
+	return ex.Blame(roots)
 }
 
 // ExtractionDecisions evaluates expr and explains the extraction decision

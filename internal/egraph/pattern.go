@@ -352,9 +352,15 @@ var errStopMatch = fmt.Errorf("egraph: match stopped")
 // at least one delta row — each such match is generated once, by the
 // sub-query whose ordinal is its first delta premise — and the matches
 // with no delta row are the ones the previous iteration already applied.
+//
+// sel, when non-nil, turns on sampled selectivity collection: every
+// sel.every-th top-level row (by global scan/frontier index, so shard
+// boundaries do not change what is sampled) opens a traced sub-tree in
+// which every premise execution is counted.
 type matchSpec struct {
 	deltaOrd int
 	minStamp uint64
+	sel      *selSink
 }
 
 // matchRun is the state of one shard's query execution.
@@ -370,6 +376,10 @@ type matchRun struct {
 	scratch []Value
 	scanned int64
 	yield   func(binds []Value, key []int32) bool
+	// sel/trace carry sampled selectivity collection: trace is true while
+	// the run is inside a sampled top-level row's sub-tree.
+	sel   *selSink
+	trace bool
 }
 
 // matchShard runs one shard of the query selected by spec, yielding each
@@ -392,6 +402,7 @@ func (g *EGraph) matchShard(r *Rule, spec matchSpec, lo, hi int, yield func(bind
 		b:     newBindings(r.NumSlots),
 		key:   make([]int32, len(tp)),
 		yield: yield,
+		sel:   spec.sel,
 	}
 	for i := range m.ord {
 		m.ord[i] = -1
@@ -439,6 +450,16 @@ func (m *matchRun) runDelta(lo, hi int) error {
 		ri := int(fr[k])
 		m.scanned++
 		row := &t.rows[ri]
+		if m.sel != nil {
+			// Sample by global frontier index: k does not depend on shard
+			// boundaries, so the traced set is worker-count independent.
+			m.trace = k%m.sel.every == 0
+			if m.trace {
+				m.sel.roots++
+				m.noteEntry(m.hoist, p, &m.sel.prem[m.hoist].DeltaScans)
+				m.sel.prem[m.hoist].Visits++
+			}
+		}
 		if row.dead {
 			continue
 		}
@@ -506,6 +527,19 @@ func (m *matchRun) matchTable(pos, i, lo, hi int, p *TablePremise) error {
 		if lo > 0 {
 			return nil // single-lookup premise: first shard owns it
 		}
+		if m.sel != nil {
+			// A fully-bound root (pos 0 of a full query) is a single
+			// lookup: it is top-level row 0, which every sampling period
+			// includes.
+			if pos == 0 && m.hoist < 0 {
+				m.trace = true
+				m.sel.roots++
+			}
+			if m.trace {
+				m.noteEntry(i, p, &m.sel.prem[i].Lookups)
+				m.sel.prem[i].Visits++
+			}
+		}
 		args := m.args(len(p.Args))
 		for j, a := range p.Args {
 			v, _ := b.get(g, a)
@@ -523,6 +557,9 @@ func (m *matchRun) matchTable(pos, i, lo, hi int, p *TablePremise) error {
 		undo, ok := b.match(g, p.Out, row.out)
 		if !ok {
 			return nil
+		}
+		if m.trace {
+			m.sel.prem[i].Matches++
 		}
 		m.key[m.ord[i]] = int32(ri)
 		err := m.matchFrom(pos+1, 0, -1)
@@ -575,6 +612,18 @@ func (m *matchRun) matchTable(pos, i, lo, hi int, p *TablePremise) error {
 		}
 	}
 	oldOnly := m.oldOnly(i)
+	// rootScan: this scan enumerates the full query's top-level rows, so
+	// the per-row sampling decision is made here. Non-root scans inherit
+	// the enclosing trace flag for the whole call.
+	rootScan := m.sel != nil && pos == 0 && m.hoist < 0
+	trc := m.sel != nil && m.trace
+	if trc {
+		path := &m.sel.prem[i].FullScans
+		if useIndex {
+			path = &m.sel.prem[i].IndexProbes
+		}
+		m.noteEntry(i, p, path)
+	}
 	var undos []int
 rows:
 	for k := start; k < n; k++ {
@@ -584,6 +633,24 @@ rows:
 		}
 		m.scanned++
 		row := &t.rows[ri]
+		if rootScan {
+			// Sample by global row index: k runs over the whole table (or
+			// candidate list) regardless of sharding, so the traced set —
+			// and with it every counter — is worker-count independent.
+			trc = k%m.sel.every == 0
+			m.trace = trc
+			if trc {
+				m.sel.roots++
+				path := &m.sel.prem[i].FullScans
+				if useIndex {
+					path = &m.sel.prem[i].IndexProbes
+				}
+				m.noteEntry(i, p, path)
+			}
+		}
+		if trc {
+			m.sel.prem[i].Visits++
+		}
 		if row.dead || (oldOnly && row.stamp >= m.spec.minStamp) {
 			continue
 		}
@@ -605,6 +672,9 @@ rows:
 			undos = append(undos, undo)
 		}
 		if ok {
+			if trc {
+				m.sel.prem[i].Matches++
+			}
 			m.key[m.ord[i]] = int32(ri)
 			if err := m.matchFrom(pos+1, 0, -1); err != nil {
 				for _, u := range undos {
@@ -643,6 +713,9 @@ func (m *matchRun) matchRow(p *TablePremise, row *row, ri int32, i, nextFrom int
 	}
 	var err error
 	if ok {
+		if m.trace {
+			m.sel.prem[i].Matches++
+		}
 		m.key[m.ord[i]] = ri
 		err = m.matchFrom(nextFrom, 0, -1)
 	}
@@ -654,6 +727,18 @@ func (m *matchRun) matchRow(p *TablePremise, row *row, ri int32, i, nextFrom int
 
 func (m *matchRun) matchEval(pos, i int, p *EvalPremise) error {
 	g, b := m.g, m.b
+	if m.sel != nil {
+		// An eval premise leading a full query runs once: it is top-level
+		// row 0, included under every sampling period.
+		if pos == 0 && m.hoist < 0 {
+			m.trace = true
+			m.sel.roots++
+		}
+		if m.trace {
+			m.sel.prem[i].Execs++
+			m.sel.prem[i].Visits++
+		}
+	}
 	args := m.args(len(p.Args))
 	for j, a := range p.Args {
 		v, ok := b.get(g, a)
@@ -672,6 +757,9 @@ func (m *matchRun) matchEval(pos, i int, p *EvalPremise) error {
 			b.bound[undo] = false
 		}
 		return nil
+	}
+	if m.trace {
+		m.sel.prem[i].Matches++
 	}
 	err := m.matchFrom(pos+1, 0, -1)
 	if undo >= 0 {

@@ -81,6 +81,17 @@ type RunConfig struct {
 	// N-th iteration's rebuild. Snapshots are what `egg-debug replay
 	// -verify` byte-compares against and what the snapshot differ consumes.
 	SnapshotEvery int
+	// ProfileSample, when > 0, enables sampled premise-selectivity
+	// collection (RunReport.Selectivity): every N-th top-level row of each
+	// rule's match scan opens a traced sub-tree in which per-premise
+	// execution/visit/match and access-path counters are recorded. 1
+	// traces every top-level row (full profiling); 0 — the default —
+	// collects nothing and costs one pointer check per premise entry.
+	// Sampling is keyed to global row indices, never to shard boundaries,
+	// so the counters are byte-identical for every Workers/MatchShards
+	// setting; like the other observability knobs it changes no engine
+	// behavior and is excluded from result cache keys.
+	ProfileSample int
 	// Naive disables semi-naive delta matching, re-matching every rule
 	// against the entire database each iteration. Semi-naive mode (the
 	// default) matches only against rows inserted or re-canonicalized
@@ -166,6 +177,9 @@ type RunReport struct {
 	// Rules holds per-rule metrics in rule-declaration order when
 	// RunConfig.RuleMetrics was set.
 	Rules []RuleStats `json:"rules,omitempty"`
+	// Selectivity holds per-rule sampled premise statistics in
+	// rule-declaration order when RunConfig.ProfileSample was set.
+	Selectivity []RuleSelectivity `json:"selectivity,omitempty"`
 	// Err holds the first rule error, if Stop == StopRuleError.
 	Err error `json:"-"`
 }
@@ -283,6 +297,11 @@ type matchTask struct {
 	keys    [][]int32
 	scanned int64
 	err     error
+	// sel holds the task's sampled selectivity counters when
+	// RunConfig.ProfileSample is set; task-private until the phase
+	// barrier, folded serially afterwards (summation is commutative, so
+	// the aggregate is independent of worker scheduling).
+	sel *selSink
 	// began/took/worker time the task and name its worker's trace lane.
 	// They live here — goroutine-private until the phase barrier — so
 	// observability adds no shared-state traffic to the hot path; the
@@ -422,6 +441,10 @@ func (g *EGraph) collectMatches(rules []*Rule, cfg RunConfig, delta bool, minSta
 		}
 		r := rules[t.ruleIdx]
 		spec := matchSpec{deltaOrd: t.sub, minStamp: minStamp}
+		if cfg.ProfileSample > 0 {
+			t.sel = newSelSink(r, cfg.ProfileSample)
+			spec.sel = t.sel
+		}
 		t.scanned, t.err = g.matchShard(r, spec, t.lo, t.hi, func(binds []Value, key []int32) bool {
 			t.buf = append(t.buf, binds)
 			if t.sub >= 0 {
@@ -560,6 +583,13 @@ func (g *EGraph) Run(rules []*Rule, cfg RunConfig) RunReport {
 	}
 	var liveRules []LiveRuleStats
 
+	var selAgg []RuleSelectivity
+	if cfg.ProfileSample > 0 {
+		selAgg = make([]RuleSelectivity, len(rules))
+		for i, r := range rules {
+			selAgg[i] = newRuleSelectivity(r, cfg.ProfileSample)
+		}
+	}
 	var rstats []RuleStats
 	if cfg.RuleMetrics {
 		rstats = make([]RuleStats, len(rules))
@@ -637,6 +667,22 @@ func (g *EGraph) Run(rules []*Rule, cfg RunConfig) RunReport {
 				it.TaskRows[i] = tasks[i].scanned
 			}
 		}
+		if cfg.ProfileSample > 0 {
+			// Fold task sinks serially, in plan order. Summation is
+			// commutative, so the aggregate depends only on which rows were
+			// sampled — a function of global row indices, not of sharding.
+			for i := range tasks {
+				t := &tasks[i]
+				if t.sel == nil {
+					continue
+				}
+				agg := &selAgg[t.ruleIdx]
+				agg.SampledRoots += t.sel.roots
+				for j := range t.sel.prem {
+					agg.Premises[j].add(t.sel.prem[j])
+				}
+			}
+		}
 		if cfg.RuleMetrics {
 			for i := range tasks {
 				t := &tasks[i]
@@ -677,6 +723,7 @@ func (g *EGraph) Run(rules []*Rule, cfg RunConfig) RunReport {
 			report.Err = err
 			report.PerIter = append(report.PerIter, it)
 			report.Rules = rstats
+			report.Selectivity = selAgg
 			report.finish(g, start)
 			return report
 		}
@@ -716,8 +763,12 @@ func (g *EGraph) Run(rules []*Rule, cfg RunConfig) RunReport {
 				}
 			}
 			var ruleStart time.Time
+			var ruleRowsBefore int
+			var ruleUnionsBefore uint64
 			if cfg.RuleMetrics && len(rm.matches) > 0 {
 				ruleStart = time.Now()
+				ruleRowsBefore = g.TotalRows()
+				ruleUnionsBefore = g.unionCount
 			}
 			for _, binds := range rm.matches {
 				// A match whose actions moved neither the union counter nor
@@ -734,6 +785,7 @@ func (g *EGraph) Run(rules []*Rule, cfg RunConfig) RunReport {
 					report.Err = fmt.Errorf("applying rule %s: %w", rm.rule.Name, err)
 					report.PerIter = append(report.PerIter, it)
 					report.Rules = rstats
+					report.Selectivity = selAgg
 					report.finish(g, start)
 					return report
 				}
@@ -747,6 +799,13 @@ func (g *EGraph) Run(rules []*Rule, cfg RunConfig) RunReport {
 			}
 			if cfg.RuleMetrics && len(rm.matches) > 0 {
 				rstats[ri].ApplyTime += time.Since(ruleStart)
+				// Growth attribution: rows and unions the batch produced,
+				// measured over the serial apply of this rule's matches —
+				// the live-run counterpart of the journal's per-row
+				// provenance. Rebuild's congruence unions are deliberately
+				// excluded; they belong to no single rule.
+				rstats[ri].RowsCreated += int64(g.TotalRows() - ruleRowsBefore)
+				rstats[ri].UnionsMade += g.unionCount - ruleUnionsBefore
 			}
 		}
 		g.endFrozenApply()
@@ -836,6 +895,7 @@ func (g *EGraph) Run(rules []*Rule, cfg RunConfig) RunReport {
 		}
 	}
 	report.Rules = rstats
+	report.Selectivity = selAgg
 	report.finish(g, start)
 	return report
 }

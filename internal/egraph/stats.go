@@ -33,6 +33,14 @@ type RuleStats struct {
 	// workers, not wall time); ApplyTime sums its apply batches.
 	MatchTime time.Duration `json:"match_ns"`
 	ApplyTime time.Duration `json:"apply_ns"`
+	// RowsCreated and UnionsMade attribute e-graph growth to the rule:
+	// table rows added and effective unions performed while its apply
+	// batches ran (rebuild's congruence repairs excluded). This is the
+	// "benefit" half of per-rule cost/benefit accounting — a rule with
+	// high RowsCreated and low extraction usefulness is paying for growth
+	// nothing consumes.
+	RowsCreated int64  `json:"rows_created"`
+	UnionsMade  uint64 `json:"unions_made"`
 }
 
 // add folds another accumulation of the same rule into s.
@@ -45,6 +53,8 @@ func (s *RuleStats) add(o RuleStats) {
 	s.FullScans += o.FullScans
 	s.MatchTime += o.MatchTime
 	s.ApplyTime += o.ApplyTime
+	s.RowsCreated += o.RowsCreated
+	s.UnionsMade += o.UnionsMade
 }
 
 // MergeRuleStats folds src into dst by rule name, preserving dst's order
@@ -84,6 +94,7 @@ func (r *RunReport) Merge(o RunReport) {
 	r.RowsScanned += o.RowsScanned
 	r.PerIter = append(r.PerIter, o.PerIter...)
 	r.Rules = MergeRuleStats(r.Rules, o.Rules)
+	r.Selectivity = MergeSelectivity(r.Selectivity, o.Selectivity)
 	r.Nodes = o.Nodes
 	r.Classes = o.Classes
 	r.Stop = o.Stop
@@ -100,12 +111,12 @@ func (r *RunReport) Merge(o RunReport) {
 // milliseconds with enough precision for CI-scale runs.
 func FormatRuleStats(rules []RuleStats) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-32s %9s %9s %7s %10s %6s %5s %10s %10s\n",
-		"rule", "matched", "applied", "noops", "rows", "delta", "full", "match(ms)", "apply(ms)")
+	fmt.Fprintf(&b, "%-32s %9s %9s %7s %10s %6s %5s %8s %8s %10s %10s\n",
+		"rule", "matched", "applied", "noops", "rows", "delta", "full", "created", "unions", "match(ms)", "apply(ms)")
 	for _, r := range rules {
-		fmt.Fprintf(&b, "%-32s %9d %9d %7d %10d %6d %5d %10.3f %10.3f\n",
+		fmt.Fprintf(&b, "%-32s %9d %9d %7d %10d %6d %5d %8d %8d %10.3f %10.3f\n",
 			r.Name, r.Matched, r.Applied, r.Noops, r.RowsScanned,
-			r.DeltaQueries, r.FullScans,
+			r.DeltaQueries, r.FullScans, r.RowsCreated, r.UnionsMade,
 			float64(r.MatchTime.Nanoseconds())/1e6,
 			float64(r.ApplyTime.Nanoseconds())/1e6)
 	}

@@ -19,6 +19,7 @@ import (
 	"dialegg/internal/memo"
 	"dialegg/internal/mlir"
 	"dialegg/internal/obs"
+	"dialegg/internal/obs/profile"
 	"dialegg/internal/obs/telemetry"
 )
 
@@ -69,6 +70,16 @@ type Config struct {
 	FlightSize int
 	// Watchdog tunes the engine health watchdog (zero value = defaults).
 	Watchdog WatchdogConfig
+	// Profile enables the live aggregate saturation profile served at
+	// /debugz/profilez: every executed job runs with per-rule metrics and
+	// extraction blame analysis, folded into a server-wide profile
+	// artifact. Costs roughly the RuleMetrics overhead per run (cache
+	// hits cost nothing); off by default.
+	Profile bool
+	// ProfileSample adds sampled premise-selectivity statistics to the
+	// profile (sample every Nth match root; 0 = off). Only meaningful
+	// with Profile set.
+	ProfileSample int
 }
 
 func (c Config) withDefaults() Config {
@@ -143,6 +154,13 @@ type Server struct {
 	flight    *obs.FlightRecorder
 	queueAges queueAges
 	start     time.Time
+
+	// Live aggregate saturation profile (Config.Profile): every executed
+	// job's profile merges in under profMu; profSlow keeps the most recent
+	// slow jobs with their flight-recorder links.
+	profMu   sync.Mutex
+	prof     *profile.Profile
+	profSlow []profSlowEntry
 }
 
 // New builds a Server and starts its worker pool.
@@ -170,6 +188,10 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/buildz", s.handleBuildz)
 	s.mux.HandleFunc("/debugz/flightz", s.handleFlightz)
+	s.mux.HandleFunc("/debugz/profilez", s.handleProfilez)
+	if cfg.Profile {
+		s.prof = profile.New()
+	}
 	s.handler = s.withRequestMeta(s.mux)
 	if cfg.Recorder.Enabled() {
 		cfg.Recorder.SetLaneName(obs.LaneServe, "serve")
@@ -474,9 +496,14 @@ func (s *Server) runJob(j *job) {
 		cfg.Recorder = j.obs.rec
 	}
 	cfg.Live = s.newLiveSink(j.obs)
+	if s.cfg.Profile {
+		cfg.RuleMetrics = true
+		cfg.ProfileSample = s.cfg.ProfileSample
+	}
 	opt := dialegg.NewOptimizer(dialegg.Options{
 		RuleSources: j.work.rules,
 		RunConfig:   cfg,
+		Blame:       s.cfg.Profile,
 	})
 	rep, err := opt.OptimizeModuleCtx(j.ctx, m)
 	s.metrics.runs.Add(1)
@@ -496,6 +523,9 @@ func (s *Server) runJob(j *job) {
 		rec.Complete(obs.LaneServe, "job", j.work.key[:12], start, time.Since(start), map[string]int64{
 			"iterations": iters,
 		})
+	}
+	if s.cfg.Profile && rep != nil {
+		s.recordProfile(rep, j.obs, time.Since(start))
 	}
 	if err != nil {
 		j.err = err

@@ -4,6 +4,7 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"log/slog"
 	"net/http"
@@ -11,7 +12,9 @@ import (
 	"sync"
 	"time"
 
+	"dialegg/internal/dialegg"
 	"dialegg/internal/obs"
+	"dialegg/internal/obs/profile"
 	"dialegg/internal/obs/telemetry"
 )
 
@@ -377,6 +380,64 @@ func (s *Server) handleFlightz(w http.ResponseWriter, r *http.Request) {
 		Records []flightSummary `json:"records"`
 		Total   uint64          `json:"total"`
 	}{out, s.flight.Total()})
+}
+
+// profSlowEntry links one slow profiled job to its flight-recorder trace:
+// the /debugz/profilez consumer jumps from a hot aggregate row straight to
+// the span tree of a request that paid for it.
+type profSlowEntry struct {
+	ID      string  `json:"id"`
+	DurMS   float64 `json:"dur_ms"`
+	Flightz string  `json:"flightz"`
+}
+
+// maxProfSlow bounds the slow-request links /debugz/profilez retains.
+const maxProfSlow = 16
+
+// recordProfile folds one executed job's report into the server-wide
+// aggregate profile and, when the job exceeded the slow threshold, links
+// its request ID to the flight recorder. Called from runJob with
+// Config.Profile set; partial reports (canceled runs) still merge so the
+// aggregate accounts the work actually done.
+func (s *Server) recordProfile(rep *dialegg.Report, ro *requestObs, dur time.Duration) {
+	p := profile.FromRunReport(rep.Run, rep.Blame)
+	s.profMu.Lock()
+	defer s.profMu.Unlock()
+	s.prof.Merge(p)
+	if s.cfg.SlowThreshold > 0 && dur >= s.cfg.SlowThreshold && ro != nil && ro.id != "" {
+		s.profSlow = append(s.profSlow, profSlowEntry{
+			ID:      ro.id,
+			DurMS:   float64(dur) / float64(time.Millisecond),
+			Flightz: "/debugz/flightz?id=" + ro.id,
+		})
+		if len(s.profSlow) > maxProfSlow {
+			s.profSlow = s.profSlow[len(s.profSlow)-maxProfSlow:]
+		}
+	}
+}
+
+// handleProfilez serves the live aggregate saturation profile: the merged
+// profile artifact of every job executed since startup (same schema as
+// egg-prof artifacts — the body of "profile" can be saved and fed to
+// egg-prof blame/top/selectivity), plus links from recent slow requests
+// to their flight-recorder traces.
+func (s *Server) handleProfilez(w http.ResponseWriter, _ *http.Request) {
+	if s.prof == nil {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "profiling disabled (start egg-serve with -profile)"})
+		return
+	}
+	s.profMu.Lock()
+	body, err := json.Marshal(s.prof)
+	slow := append([]profSlowEntry(nil), s.profSlow...)
+	s.profMu.Unlock()
+	if err != nil {
+		s.failf(w, http.StatusInternalServerError, "encoding profile: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Profile      json.RawMessage `json:"profile"`
+		SlowRequests []profSlowEntry `json:"slow_requests,omitempty"`
+	}{body, slow})
 }
 
 // discardLogger is the default when Config.Logger is nil: structured
