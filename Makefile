@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet fmt bench bench-smoke trace-smoke debug-smoke serve-smoke metrics-smoke prof-smoke fuzz-smoke fuzz-nightly examples fig3 tables full clean
+.PHONY: all build test test-race vet fmt bench bench-smoke trace-smoke debug-smoke serve-smoke metrics-smoke prof-smoke tune-smoke fuzz-smoke fuzz-nightly examples fig3 tables full clean
 
 all: build vet test test-race
 
@@ -36,12 +36,13 @@ bench:
 # One-shot pass over the saturation benchmarks (cheap smoke signal that
 # the hot paths still run), then the perf-regression gate: remeasure the
 # naive-vs-semi-naive row visits into a scratch artifact and compare it
-# against the committed BENCH_3.json baseline. Deterministic counters
-# (rows scanned, iterations) must not grow beyond tolerance.
+# against the committed BENCH_4.json baseline. Deterministic counters
+# (rows scanned, iterations, scheduler throttle/cap counts) must not
+# grow beyond tolerance.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'Saturate|EMatch|Rebuild|Extract' -benchtime=1x ./internal/egraph/ ./internal/bench/
 	$(GO) run ./cmd/benchtab -bench2 -bench2-out bench2_fresh.json
-	$(GO) run ./cmd/benchtab -compare BENCH_3.json bench2_fresh.json
+	$(GO) run ./cmd/benchtab -compare BENCH_4.json bench2_fresh.json
 
 # Observability smoke: run egg-opt with tracing, metrics, and profiling
 # enabled on a real example, then lint the artifacts (Chrome-trace shape,
@@ -102,6 +103,16 @@ prof-smoke:
 	$(GO) run ./cmd/egg-prof lint profile.merged.json
 	@echo "prof-smoke: OK (profile.json, profile.merged.json)"
 
+# Scheduling autotuner smoke: a tiny-budget tune over one workload must
+# emit a lintable dialegg-schedule/v1 artifact that egg-opt then loads
+# and runs under (the whole artifact lifecycle: search -> lint -> load).
+tune-smoke:
+	$(GO) run ./cmd/egg-tune -workloads chain16 -budget 4 -o schedule.json
+	$(GO) run ./cmd/egg-tune lint schedule.json
+	$(GO) run ./cmd/egg-opt -rules imgconv -schedule schedule.json \
+		examples/div_pow2.mlir > /dev/null
+	@echo "tune-smoke: OK (schedule.json)"
+
 # Differential fuzzing smoke: replay the checked-in repro corpus (fixed
 # regressions must stay fixed, expect-fail entries must stay caught —
 # they pin the oracle's detection power), then a short fresh fuzz over
@@ -141,5 +152,5 @@ clean:
 	rm -f test_output.txt bench_output.txt trace.json stats.json cpu.pprof mem.pprof \
 		journal.jsonl snapshot.json egraph.dot extraction.txt \
 		metrics.txt flight.trace.json \
-		profile.json profile.merged.json bench2_fresh.json
+		profile.json profile.merged.json bench2_fresh.json schedule.json
 	rm -rf fuzz-repros

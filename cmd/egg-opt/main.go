@@ -45,6 +45,7 @@ import (
 	"dialegg/internal/obs/profile"
 	"dialegg/internal/passes"
 	"dialegg/internal/rules"
+	"dialegg/internal/sched"
 )
 
 type stringList []string
@@ -79,6 +80,9 @@ type options struct {
 
 	profileFile   string
 	profileSample int
+
+	scheduler    string
+	scheduleFile string
 }
 
 func main() {
@@ -106,6 +110,8 @@ func main() {
 	flag.BoolVar(&opts.explainExtr, "explain-extraction", false, "print an extraction-decision report for every rewritten operation to stderr")
 	flag.StringVar(&opts.profileFile, "profile", "", "write a saturation-profile artifact (per-rule cost/benefit + extraction blame; egg-prof readable) to this file")
 	flag.IntVar(&opts.profileSample, "profile-sample", 0, "sample every Nth match root for premise-selectivity statistics in the profile (0 = off)")
+	flag.StringVar(&opts.scheduler, "scheduler", "", "rule scheduling strategy: simple, backoff[:threshold=N,factor=N,ban=N], or matchlimit[:N] (default simple)")
+	flag.StringVar(&opts.scheduleFile, "schedule", "", "load a tuned dialegg-schedule/v1 artifact (egg-tune output) and use its entry for the -rules set; -scheduler overrides")
 	flag.Parse()
 	opts.eggFiles = eggFiles
 
@@ -171,6 +177,28 @@ func run(opts options) (err error) {
 		ruleSrcs = append(ruleSrcs, string(b))
 	}
 
+	// Scheduler resolution: a tuned artifact supplies the -rules set's
+	// entry (or its default), and an explicit -scheduler spec overrides.
+	var scheduler sched.Scheduler
+	if opts.scheduleFile != "" {
+		art, err := sched.ReadArtifact(opts.scheduleFile)
+		if err != nil {
+			return err
+		}
+		if rs := art.For(opts.ruleSet); rs != nil {
+			if scheduler, err = rs.Build(); err != nil {
+				return err
+			}
+		}
+	}
+	if opts.scheduler != "" {
+		s, err := sched.Parse(opts.scheduler)
+		if err != nil {
+			return err
+		}
+		scheduler = s
+	}
+
 	reg := dialects.NewRegistry()
 	m, err := mlir.ParseModule(string(src), reg)
 	if err != nil {
@@ -214,6 +242,7 @@ func run(opts options) (err error) {
 				RuleMetrics:   opts.stats || opts.statsJSON != "" || opts.profileFile != "",
 				ProfileSample: opts.profileSample,
 				Recorder:      rec,
+				Scheduler:     scheduler,
 			},
 			KeepEggProgram:    opts.emitEgg,
 			ExplainRewrites:   opts.explain,

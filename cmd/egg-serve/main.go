@@ -62,6 +62,7 @@ import (
 	"dialegg/internal/obs/profile"
 	"dialegg/internal/obs/telemetry"
 	"dialegg/internal/rules"
+	"dialegg/internal/sched"
 	"dialegg/internal/serve"
 )
 
@@ -86,6 +87,7 @@ func main() {
 	noWatchdog := flag.Bool("no-watchdog", false, "disable the engine health watchdog")
 	profileFlag := flag.Bool("profile", false, "aggregate a live saturation profile (per-rule cost/benefit + blame) served at /debugz/profilez; adds per-run RuleMetrics overhead")
 	profileSample := flag.Int("profile-sample", 0, "sample every Nth match root for premise-selectivity statistics in the live profile (0 = off; needs -profile)")
+	schedule := flag.String("schedule", "", "load a tuned dialegg-schedule/v1 artifact (egg-tune output); requests resolve their rule set's entry")
 	flag.Parse()
 
 	logger, err := buildLogger(*logMode)
@@ -111,7 +113,11 @@ func main() {
 				Profile:       *profileFlag,
 				ProfileSample: *profileSample,
 			}
+			if *schedule != "" {
+				cfg.Schedule, err = sched.ReadArtifact(*schedule)
+			}
 			switch {
+			case err != nil:
 			case *metricsSmoke:
 				err = runMetricsSmoke(cfg, *smokeDir, *drainTimeout)
 			case *smoke:

@@ -30,6 +30,19 @@ type CompareRow struct {
 	// means the run converged differently, which is never noise.
 	OldIters int `json:"old_iters"`
 	NewIters int `json:"new_iters"`
+	// OldSchedRows/NewSchedRows gate the scheduled (reference-backoff)
+	// run's row visits; OldThrottled/NewThrottled and
+	// OldLimited/NewLimited its deterministic intervention counts. All
+	// zero when the baseline artifact predates the scheduled column
+	// (BENCH_3.json and older), in which case they are not gated.
+	OldSchedRows int64 `json:"old_sched_rows,omitempty"`
+	NewSchedRows int64 `json:"new_sched_rows,omitempty"`
+	OldThrottled int64 `json:"old_throttled,omitempty"`
+	NewThrottled int64 `json:"new_throttled,omitempty"`
+	OldLimited   int64 `json:"old_limited,omitempty"`
+	NewLimited   int64 `json:"new_limited,omitempty"`
+	// SchedDelta is the fractional scheduled-rows change.
+	SchedDelta float64 `json:"sched_delta,omitempty"`
 	// OldMatchMS/NewMatchMS are the semi-naive match wall times (context
 	// only; not gated).
 	OldMatchMS float64 `json:"old_match_ms"`
@@ -96,6 +109,29 @@ func CompareBench2(oldRows, newRows []Bench2Row, tolerance float64) ([]CompareRo
 			OldMatchMS: o.SemiNaive.MatchMS,
 			NewMatchMS: n.SemiNaive.MatchMS,
 		}
+		// Old artifacts without the scheduled column deserialize to a zero
+		// Sched mode; skip the scheduler gates for those rows.
+		if o.Sched.Iterations > 0 {
+			row.OldSchedRows = o.Sched.RowsScanned
+			row.NewSchedRows = n.Sched.RowsScanned
+			row.OldThrottled = o.Sched.Throttled
+			row.NewThrottled = n.Sched.Throttled
+			row.OldLimited = o.Sched.Limited
+			row.NewLimited = n.Sched.Limited
+			row.SchedDelta = delta(row.OldSchedRows, row.NewSchedRows)
+			if row.SchedDelta > tolerance {
+				regressions = append(regressions, fmt.Sprintf("%s: scheduled rows scanned %d -> %d (%+.1f%% > %.1f%% tolerance)",
+					o.Benchmark, row.OldSchedRows, row.NewSchedRows, 100*row.SchedDelta, 100*tolerance))
+			}
+			if row.OldThrottled != row.NewThrottled {
+				regressions = append(regressions, fmt.Sprintf("%s: scheduler throttle count %d -> %d (backoff behavior changed)",
+					o.Benchmark, row.OldThrottled, row.NewThrottled))
+			}
+			if row.OldLimited != row.NewLimited {
+				regressions = append(regressions, fmt.Sprintf("%s: scheduler cap count %d -> %d (truncation behavior changed)",
+					o.Benchmark, row.OldLimited, row.NewLimited))
+			}
+		}
 		row.RowsDelta = delta(row.OldRows, row.NewRows)
 		row.TailDelta = delta(row.OldTail, row.NewTail)
 		out = append(out, row)
@@ -129,16 +165,19 @@ func CompareBench2(oldRows, newRows []Bench2Row, tolerance float64) ([]CompareRo
 // they are: the gate reads only the deterministic columns.
 func FormatCompare(rows []CompareRow) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-10s %10s %10s %8s | %10s %10s %8s | %5s %5s | %9s %9s\n",
+	fmt.Fprintf(&b, "%-10s %10s %10s %8s | %10s %10s %8s | %5s %5s | %10s %10s %8s %5s | %9s %9s\n",
 		"benchmark", "rows(old)", "rows(new)", "delta",
 		"tail(old)", "tail(new)", "delta", "it(o)", "it(n)",
+		"sched(old)", "sched(new)", "delta", "thr",
 		"ms(old)", "ms(new)")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-10s %10d %10d %7.1f%% | %10d %10d %7.1f%% | %5d %5d | %9.2f %9.2f\n",
+		fmt.Fprintf(&b, "%-10s %10d %10d %7.1f%% | %10d %10d %7.1f%% | %5d %5d | %10d %10d %7.1f%% %5d | %9.2f %9.2f\n",
 			r.Benchmark, r.OldRows, r.NewRows, 100*r.RowsDelta,
 			r.OldTail, r.NewTail, 100*r.TailDelta,
-			r.OldIters, r.NewIters, r.OldMatchMS, r.NewMatchMS)
+			r.OldIters, r.NewIters,
+			r.OldSchedRows, r.NewSchedRows, 100*r.SchedDelta, r.NewThrottled,
+			r.OldMatchMS, r.NewMatchMS)
 	}
-	b.WriteString("(rows/tail/iterations are deterministic and gated; match ms is machine noise, shown for context)\n")
+	b.WriteString("(rows/tail/iterations/sched/throttles are deterministic and gated; match ms is machine noise, shown for context)\n")
 	return b.String()
 }

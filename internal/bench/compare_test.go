@@ -8,7 +8,8 @@ import (
 
 func compareFixture() []Bench2Row {
 	return []Bench2Row{
-		{Benchmark: "Poly", SemiNaive: Bench2Mode{Iterations: 4, RowsScanned: 1000, RowsScannedTail: 400, MatchMS: 1.5}},
+		{Benchmark: "Poly", SemiNaive: Bench2Mode{Iterations: 4, RowsScanned: 1000, RowsScannedTail: 400, MatchMS: 1.5},
+			Sched: Bench2Mode{Iterations: 5, RowsScanned: 800, Throttled: 3, Limited: 1}},
 		{Benchmark: "NMM", SemiNaive: Bench2Mode{Iterations: 9, RowsScanned: 5000, RowsScannedTail: 2500, MatchMS: 12}},
 	}
 }
@@ -45,6 +46,32 @@ func TestCompareBench2Gate(t *testing.T) {
 
 	if _, regs := CompareBench2(base, base[:1], 0.05); len(regs) != 1 || !strings.Contains(regs[0], "missing") {
 		t.Errorf("vanished benchmark not flagged: %v", regs)
+	}
+
+	schedRows := compareFixture()
+	schedRows[0].Sched.RowsScanned = 1000 // +25% over the 800 baseline
+	if _, regs := CompareBench2(base, schedRows, 0.05); len(regs) != 1 || !strings.Contains(regs[0], "scheduled rows") {
+		t.Errorf("scheduled-rows growth not flagged: %v", regs)
+	}
+
+	throttle := compareFixture()
+	throttle[0].Sched.Throttled = 7
+	if _, regs := CompareBench2(base, throttle, 0.05); len(regs) != 1 || !strings.Contains(regs[0], "throttle count") {
+		t.Errorf("throttle-count change not flagged: %v", regs)
+	}
+
+	capped := compareFixture()
+	capped[0].Sched.Limited = 0
+	if _, regs := CompareBench2(base, capped, 0.05); len(regs) != 1 || !strings.Contains(regs[0], "cap count") {
+		t.Errorf("cap-count change not flagged: %v", regs)
+	}
+
+	// A baseline without the scheduled column (pre-BENCH_4 artifact) never
+	// trips the scheduler gates, whatever the new measurement says.
+	old := compareFixture()
+	old[0].Sched = Bench2Mode{}
+	if _, regs := CompareBench2(old, schedRows, 0.05); len(regs) != 0 {
+		t.Errorf("pre-sched baseline tripped scheduler gates: %v", regs)
 	}
 
 	rows, _ := CompareBench2(base, compareFixture(), 0.05)

@@ -9,6 +9,7 @@ import (
 	"dialegg/internal/memo"
 	"dialegg/internal/mlir"
 	"dialegg/internal/obs/journal"
+	"dialegg/internal/sched"
 )
 
 // checkProperties runs the metamorphic side of the oracle. Unlike the
@@ -22,6 +23,10 @@ import (
 //     must re-pick the same program.
 //   - journal-replay: a journaled optimization replays bit-identically
 //     (snapshot byte-comparison at every recorded iteration).
+//   - sched-agreement: the Simple rule scheduler reproduces the
+//     unscheduled extraction exactly, and a saturated Backoff run
+//     extracts the same program as the unscheduled run (scheduling only
+//     changes how saturation proceeds, never where it lands).
 //   - memo-determinism: the content-address of the module is stable and
 //     two independent optimizations of the same input emit byte-identical
 //     text — the property that makes serving cache hits sound.
@@ -54,6 +59,10 @@ func checkProperties(m, om *mlir.Module, origSrc, optSrc string, reg *mlir.Regis
 		return f
 	}
 
+	if f := checkSchedAgreement(m, optSrc, reg, opts, fail); f != nil {
+		return f
+	}
+
 	canon, err := memo.CanonicalizeMLIR(origSrc)
 	if err != nil {
 		return fail("memo-determinism", fmt.Sprintf("canonicalize: %v", err))
@@ -70,6 +79,46 @@ func checkProperties(m, om *mlir.Module, origSrc, optSrc string, reg *mlir.Regis
 	}
 	if rerun := mlir.PrintModuleCanonical(om3, reg); rerun != optSrc {
 		return fail("memo-determinism", fmt.Sprintf("two optimizations of the same input disagree:\n--- first\n%s\n--- second\n%s", optSrc, rerun))
+	}
+	return nil
+}
+
+// checkSchedAgreement is the rule-scheduling metamorphic property: a
+// scheduled run may change how saturation proceeds, never where it
+// lands. Concretely: the Simple scheduler must reproduce the unscheduled
+// extraction byte-for-byte unconditionally (it is the documented
+// bit-identical default), and a throttling Backoff run that still
+// reaches saturation must extract the same program too — both runs saw
+// the full congruence closure, so extraction has the same choices.
+// Backoff runs cut short by an iteration or node limit are exempt: a ban
+// can legitimately push work past the horizon.
+func checkSchedAgreement(m *mlir.Module, optSrc string, reg *mlir.Registry, opts Options, fail func(name, detail string) *Failure) *Failure {
+	run := func(s sched.Scheduler) (string, *dialegg.Report, error) {
+		cfg := opts.RunConfig
+		cfg.Scheduler = s
+		sm := m.Clone()
+		opt := dialegg.NewOptimizer(dialegg.Options{RuleSources: opts.Rules, RunConfig: cfg})
+		rep, err := opt.OptimizeModule(sm)
+		if err != nil {
+			return "", nil, err
+		}
+		return mlir.PrintModuleCanonical(sm, reg), rep, nil
+	}
+
+	simpleSrc, _, err := run(sched.Simple{})
+	if err != nil {
+		return fail("sched-agreement", fmt.Sprintf("simple-scheduled optimization failed: %v", err))
+	}
+	if simpleSrc != optSrc {
+		return fail("sched-agreement", fmt.Sprintf("Simple scheduler diverged from the unscheduled run:\n--- unscheduled\n%s\n--- simple\n%s", optSrc, simpleSrc))
+	}
+
+	backoffSrc, rep, err := run(sched.Backoff{Threshold: 8, Factor: 2, BanLength: 3})
+	if err != nil {
+		return fail("sched-agreement", fmt.Sprintf("backoff-scheduled optimization failed: %v", err))
+	}
+	if rep.Run.Stop == egraph.StopSaturated && backoffSrc != optSrc {
+		return fail("sched-agreement", fmt.Sprintf("saturated backoff run extracted a different program:\n--- unscheduled\n%s\n--- backoff\n%s", optSrc, backoffSrc))
 	}
 	return nil
 }

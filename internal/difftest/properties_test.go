@@ -8,9 +8,9 @@ import (
 )
 
 // TestMetamorphicProperties runs the full property suite (print
-// fixed point, idempotence, journal replay, memo determinism) over
-// generated modules for two representative bundles — one scalar-integer,
-// one with loops and floats.
+// fixed point, idempotence, journal replay, scheduler agreement, memo
+// determinism) over generated modules for two representative bundles —
+// one scalar-integer, one with loops and floats.
 func TestMetamorphicProperties(t *testing.T) {
 	for _, name := range []string{"imgconv", "mixed"} {
 		b, err := BundleFor(name)

@@ -5,6 +5,7 @@ import (
 
 	"dialegg/internal/egraph"
 	"dialegg/internal/obs"
+	"dialegg/internal/sched"
 	"dialegg/internal/sexp"
 )
 
@@ -312,7 +313,36 @@ func (p *Program) executeOne(n *sexp.Node) (*Result, error) {
 		return nil, p.DeclareRuleset(args[0].Sym)
 
 	case "run-schedule":
-		report, err := p.RunSchedule(args, p.RunDefaults)
+		// A trailing (:scheduler <spec>) option selects the rule-scheduling
+		// strategy for this schedule only; the spec uses the CLI grammar
+		// ("backoff:threshold=500") as a symbol or string.
+		cfg := p.RunDefaults
+		items := args
+		for i := 0; i < len(items); i++ {
+			if !items[i].IsSymbol(":scheduler") {
+				continue
+			}
+			if i+1 >= len(items) {
+				return nil, fmt.Errorf("egglog: %s:scheduler expects a spec", schedPos(items[i]))
+			}
+			var spec string
+			switch v := items[i+1]; v.Kind {
+			case sexp.KindSymbol:
+				spec = v.Sym
+			case sexp.KindString:
+				spec = v.Str
+			default:
+				return nil, fmt.Errorf("egglog: %s:scheduler expects a symbol or string spec, got %s", schedPos(items[i+1]), items[i+1])
+			}
+			s, err := sched.Parse(spec)
+			if err != nil {
+				return nil, fmt.Errorf("egglog: %s%v", schedPos(items[i+1]), err)
+			}
+			cfg.Scheduler = s
+			items = append(append([]*sexp.Node{}, items[:i]...), items[i+2:]...)
+			i--
+		}
+		report, err := p.RunSchedule(items, cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -431,6 +431,9 @@ func (p *Program) RunRules(cfg egraph.RunConfig) egraph.RunReport {
 	if cfg.ProfileSample == 0 {
 		cfg.ProfileSample = p.RunDefaults.ProfileSample
 	}
+	if cfg.Scheduler == nil {
+		cfg.Scheduler = p.RunDefaults.Scheduler
+	}
 	p.LastRun = p.g.Run(p.rules, cfg)
 	return p.LastRun
 }

@@ -105,6 +105,50 @@ func TestRunScheduleMalformed(t *testing.T) {
 	}
 }
 
+// TestRunScheduleErrorsCarryPosition: schedule parse errors name the
+// offending sub-schedule's source position and text, so a failure in a
+// long schedule body is locatable.
+func TestRunScheduleErrorsCarryPosition(t *testing.T) {
+	p := NewProgram()
+	mustExec(t, p, exprPrelude+`(ruleset fold)`)
+	_, err := p.ExecuteString(`(run-schedule
+  (seq fold
+       (frobnicate fold)))`)
+	if err == nil {
+		t.Fatal("malformed schedule accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "3:8:") {
+		t.Errorf("error missing the offending item's position: %v", err)
+	}
+	if !strings.Contains(msg, "(frobnicate fold)") {
+		t.Errorf("error missing the offending item's text: %v", err)
+	}
+}
+
+// TestRunScheduleSchedulerOption: (:scheduler <spec>) selects a strategy
+// for the schedule, accepts symbol and string spec forms, and rejects a
+// bad spec with its position.
+func TestRunScheduleSchedulerOption(t *testing.T) {
+	p := NewProgram()
+	mustExec(t, p, exprPrelude+`
+(rewrite (Mul ?x (Num 1)) ?x)
+(let e (Mul (Var "a") (Num 1)))
+(run-schedule (run 5) :scheduler "backoff:threshold=500")
+(check (= e (Var "a")))
+`)
+	mustExec(t, p, `(run-schedule (run 1) :scheduler matchlimit:200)`)
+
+	if _, err := p.ExecuteString(`(run-schedule (run 1) :scheduler "frobnicate")`); err == nil {
+		t.Error("bad scheduler spec accepted")
+	} else if !strings.Contains(err.Error(), "frobnicate") {
+		t.Errorf("spec error unhelpful: %v", err)
+	}
+	if _, err := p.ExecuteString(`(run-schedule (run 1) :scheduler)`); err == nil {
+		t.Error("dangling :scheduler accepted")
+	}
+}
+
 // TestRunScheduleSaturateIterLimit: a (saturate ...) over a ruleset that
 // grows the graph forever stops at the configured iteration cap instead
 // of spinning, and reports StopIterLimit.

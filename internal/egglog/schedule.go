@@ -2,6 +2,7 @@ package egglog
 
 import (
 	"fmt"
+	"strings"
 
 	"dialegg/internal/egraph"
 	"dialegg/internal/sexp"
@@ -79,18 +80,37 @@ func (p *Program) RunSchedule(items []*sexp.Node, cfg egraph.RunConfig) (egraph.
 	return total, nil
 }
 
+// schedPos renders a schedule node's source position for error messages
+// ("3:14: " when the node came from the parser, empty otherwise), so a
+// failing sub-schedule is locatable inside a long (run-schedule ...)
+// body instead of only by its rendered text.
+func schedPos(n *sexp.Node) string {
+	if n.Line > 0 {
+		return fmt.Sprintf("%d:%d: ", n.Line, n.Col)
+	}
+	return ""
+}
+
+// schedItemErr wraps a resolution error with the offending item's
+// position and rendered text, stripping the inner "egglog: " prefix so
+// the combined message carries it exactly once.
+func schedItemErr(item *sexp.Node, err error) error {
+	return fmt.Errorf("egglog: %sschedule item %s: %s",
+		schedPos(item), item, strings.TrimPrefix(err.Error(), "egglog: "))
+}
+
 func (p *Program) runScheduleItem(item *sexp.Node, cfg egraph.RunConfig) (egraph.RunReport, error) {
 	if item.Kind == sexp.KindSymbol {
 		rules, err := p.rulesFor(item.Sym)
 		if err != nil {
-			return egraph.RunReport{}, err
+			return egraph.RunReport{}, schedItemErr(item, err)
 		}
 		one := cfg
 		one.IterLimit = 1
 		return p.g.Run(rules, one), nil
 	}
 	if item.Kind != sexp.KindList {
-		return egraph.RunReport{}, fmt.Errorf("egglog: invalid schedule item %s", item)
+		return egraph.RunReport{}, fmt.Errorf("egglog: %sinvalid schedule item %s (want a ruleset symbol or a (run|saturate|seq|repeat ...) list)", schedPos(item), item)
 	}
 	switch item.Head() {
 	case "run":
@@ -103,12 +123,12 @@ func (p *Program) runScheduleItem(item *sexp.Node, cfg egraph.RunConfig) (egraph
 			case sexp.KindInt:
 				iters = int(a.Int)
 			default:
-				return egraph.RunReport{}, fmt.Errorf("egglog: invalid (run ...) argument %s", a)
+				return egraph.RunReport{}, fmt.Errorf("egglog: %sinvalid (run ...) argument %s in %s", schedPos(a), a, item)
 			}
 		}
 		rules, err := p.rulesFor(name)
 		if err != nil {
-			return egraph.RunReport{}, err
+			return egraph.RunReport{}, schedItemErr(item, err)
 		}
 		one := cfg
 		if iters > 0 {
@@ -171,7 +191,7 @@ func (p *Program) runScheduleItem(item *sexp.Node, cfg egraph.RunConfig) (egraph
 
 	case "repeat":
 		if len(item.Args()) < 1 || item.Args()[0].Kind != sexp.KindInt {
-			return egraph.RunReport{}, fmt.Errorf("egglog: repeat expects a count")
+			return egraph.RunReport{}, fmt.Errorf("egglog: %srepeat expects a count: %s", schedPos(item), item)
 		}
 		var total egraph.RunReport
 		for i := int64(0); i < item.Args()[0].Int; i++ {
@@ -190,6 +210,6 @@ func (p *Program) runScheduleItem(item *sexp.Node, cfg egraph.RunConfig) (egraph
 		return total, nil
 
 	default:
-		return egraph.RunReport{}, fmt.Errorf("egglog: unknown schedule form %q", item.Head())
+		return egraph.RunReport{}, fmt.Errorf("egglog: %sunknown schedule form %q in %s", schedPos(item), item.Head(), item)
 	}
 }

@@ -11,6 +11,7 @@ import (
 
 	"dialegg/internal/obs"
 	"dialegg/internal/obs/journal"
+	"dialegg/internal/sched"
 )
 
 // RunConfig bounds a saturation run. Zero fields get defaults.
@@ -92,6 +93,27 @@ type RunConfig struct {
 	// setting; like the other observability knobs it changes no engine
 	// behavior and is excluded from result cache keys.
 	ProfileSample int
+	// Scheduler, when non-nil, throttles rules adaptively: before each
+	// match phase the runner asks the strategy for every rule's budget
+	// (run, skip, or a per-iteration match cap) and reports the merged
+	// per-rule outcome back after the iteration. Decisions are computed in
+	// the runner's serial section from merged, worker-count-independent
+	// statistics, so a scheduled run is byte-identical for every
+	// Workers/MatchShards setting and in both match modes. A skipped rule
+	// contributes no match tasks; a capped rule keeps the deterministic
+	// prefix of its merged match list (the cap is enforced after merging,
+	// never per task). Because skips and caps drop delta matches that
+	// semi-naive mode would otherwise never revisit, the runner re-matches
+	// such a rule against the full database the next time it runs.
+	// Scheduler-imposed truncation does not stop the run (unlike
+	// MatchLimit), and saturation is only declared on a no-growth
+	// iteration whose skips are all final — a temporarily banned rule
+	// keeps the run alive until its ban expires, exactly like egg's
+	// BackoffScheduler. Nil (or sched.Simple) behaves bit-identically to
+	// the unscheduled engine. A scheduler changes results, so it is part
+	// of the memo cache key (via Fingerprint), unlike the observability
+	// knobs.
+	Scheduler sched.Scheduler
 	// Naive disables semi-naive delta matching, re-matching every rule
 	// against the entire database each iteration. Semi-naive mode (the
 	// default) matches only against rows inserted or re-canonicalized
@@ -230,6 +252,28 @@ type IterStats struct {
 	// canonicalization plus rebuild repair). Populated only when
 	// RunConfig.RuleMetrics is set.
 	Finds uint64 `json:"finds,omitempty"`
+	// Sched records the scheduler's effective interventions this
+	// iteration: one entry per skipped rule and per rule whose matches a
+	// scheduler cap actually truncated. Uncapped runs and caps that never
+	// bound are not recorded (they are the common case and carry no
+	// information). Empty without a scheduler.
+	Sched []SchedDecision `json:"sched,omitempty"`
+}
+
+// SchedDecision is one scheduler intervention in one iteration, as
+// surfaced in IterStats: which rule, what happened ("skip" or "limit"),
+// and what it cost.
+type SchedDecision struct {
+	Rule string `json:"rule"`
+	// Action is "skip" or "limit".
+	Action string `json:"action"`
+	// Limit is the match cap for "limit" entries.
+	Limit int `json:"limit,omitempty"`
+	// Dropped counts matches discarded by the cap (found minus applied).
+	Dropped int64 `json:"dropped,omitempty"`
+	// Final marks a permanent skip (the strategy will never run the rule
+	// again), which is what lets the runner still declare saturation.
+	Final bool `json:"final,omitempty"`
 }
 
 // Saturated reports whether the run reached a fixed point.
@@ -262,6 +306,11 @@ type LiveRuleStats struct {
 	// Applied the post-truncation count actually applied.
 	Matched int64
 	Applied int64
+	// Throttled reports that the scheduler skipped the rule this
+	// iteration; Limited that a scheduler cap truncated its matches. Both
+	// false without a scheduler.
+	Throttled bool
+	Limited   bool
 }
 
 // LiveSink receives live per-iteration gauges during a saturation run.
@@ -278,8 +327,18 @@ type ruleMatches struct {
 	rule      *Rule
 	matches   [][]Value
 	truncated bool
+	// schedTruncated reports that a scheduler cap (not the engine
+	// MatchLimit) truncated the merged list. Unlike truncated it does not
+	// stop the run.
+	schedTruncated bool
 	// found is the rule's pre-truncation match count this iteration.
 	found int64
+}
+
+// schedSkip reports whether the iteration's scheduler decisions exclude
+// rule ri from the match plan (nil decisions mean every rule runs).
+func schedSkip(decisions []sched.Decision, ri int) bool {
+	return decisions != nil && decisions[ri].Action == sched.ActionSkip
 }
 
 // matchTask is one unit of match-phase work: one shard of one sub-query
@@ -340,10 +399,14 @@ func shardRange(tasks []matchTask, ruleIdx, sub, n, worth, maxShards int) []matc
 
 // planMatchTasks splits each rule's full query into at most `maxShards`
 // shards of its top-level scan. Rules whose first premise does not scan
-// (or scans few live rows) get a single whole-range task.
-func (g *EGraph) planMatchTasks(rules []*Rule, maxShards int) []matchTask {
+// (or scans few live rows) get a single whole-range task; rules the
+// scheduler skipped get none.
+func (g *EGraph) planMatchTasks(rules []*Rule, maxShards int, decisions []sched.Decision) []matchTask {
 	tasks := make([]matchTask, 0, len(rules))
 	for ri, r := range rules {
+		if schedSkip(decisions, ri) {
+			continue
+		}
 		n, live := g.firstPremiseScan(r)
 		tasks = shardRange(tasks, ri, -1, n, live, maxShards)
 	}
@@ -364,9 +427,23 @@ func (g *EGraph) planMatchTasks(rules []*Rule, maxShards int) []matchTask {
 // applies are guaranteed no-ops under the apply phase's frozen
 // canonicalization, so the fallback changes which rows are visited but not
 // a single bit of the result.
-func (g *EGraph) planDeltaTasks(rules []*Rule, maxShards int) []matchTask {
+// Scheduling adds two cases: a skipped rule contributes no tasks, and a
+// rule carrying full-scan debt (needFull — it was skipped or truncated
+// since its last complete pass, so delta frontiers it never saw are gone)
+// runs its full query regardless of the frontier state. Re-found old
+// matches are no-ops, so the forced full pass restores completeness
+// without changing a bit of the already-derived state.
+func (g *EGraph) planDeltaTasks(rules []*Rule, maxShards int, decisions []sched.Decision, needFull []bool) []matchTask {
 	var tasks []matchTask
 	for ri, r := range rules {
+		if schedSkip(decisions, ri) {
+			continue
+		}
+		if needFull != nil && needFull[ri] {
+			n, live := g.firstPremiseScan(r)
+			tasks = shardRange(tasks, ri, -1, n, live, maxShards)
+			continue
+		}
 		tp := tablePremises(r)
 		outer := 0
 		for _, pi := range tp {
@@ -415,13 +492,18 @@ func keyLess(a, b []int32) bool {
 // The returned tasks carry per-task timings, row counts, and worker ids
 // when any consumer wants them (RecordTaskTimes, RuleMetrics, or an
 // enabled Recorder); the runner aggregates them serially after the phase.
-func (g *EGraph) collectMatches(rules []*Rule, cfg RunConfig, delta bool, minStamp uint64) ([]ruleMatches, []matchTask, int64, error) {
+// Scheduler decisions and full-scan debt (both nil for unscheduled runs)
+// shape the plan — skipped rules get no tasks, indebted rules full-scan —
+// and scheduler caps truncate the merged per-rule lists. Caps are applied
+// only after the deterministic merge (never to per-task buffers), so the
+// kept prefix is the same for every worker count and shard plan.
+func (g *EGraph) collectMatches(rules []*Rule, cfg RunConfig, delta bool, minStamp uint64, decisions []sched.Decision, needFull []bool) ([]ruleMatches, []matchTask, int64, error) {
 	workers, matchLimit := cfg.Workers, cfg.MatchLimit
 	var tasks []matchTask
 	if delta {
-		tasks = g.planDeltaTasks(rules, cfg.MatchShards)
+		tasks = g.planDeltaTasks(rules, cfg.MatchShards, decisions, needFull)
 	} else {
-		tasks = g.planMatchTasks(rules, cfg.MatchShards)
+		tasks = g.planMatchTasks(rules, cfg.MatchShards, decisions)
 	}
 	timeTasks := cfg.RecordTaskTimes || cfg.RuleMetrics || cfg.Recorder.Enabled()
 
@@ -528,6 +610,16 @@ func (g *EGraph) collectMatches(rules []*Rule, cfg RunConfig, delta bool, minSta
 			rm.matches = rm.matches[:matchLimit]
 			rm.truncated = true
 		}
+		// Scheduler cap: keep the deterministic prefix of the merged
+		// list. Enforced after the engine MatchLimit so a run that would
+		// have hit the engine cap unscheduled still stops with
+		// StopMatchLimit; scheduler truncation itself never stops the run.
+		if decisions != nil && decisions[i].Action == sched.ActionLimit {
+			if lim := decisions[i].Limit; lim > 0 && len(rm.matches) > lim {
+				rm.matches = rm.matches[:lim]
+				rm.schedTruncated = true
+			}
+		}
 	}
 	return merged, tasks, scanned, nil
 }
@@ -590,6 +682,23 @@ func (g *EGraph) Run(rules []*Rule, cfg RunConfig) RunReport {
 			selAgg[i] = newRuleSelectivity(r, cfg.ProfileSample)
 		}
 	}
+	// Scheduler state: one fresh Instance per run (strategies are
+	// reusable; instances are not), the per-iteration decision vector, the
+	// cumulative per-rule stats decisions key on, the RecordIter buffer,
+	// and the full-scan debt ledger. All of it lives in the serial
+	// section; the match workers only ever see the finished decisions.
+	var schedInst sched.Instance
+	var decisions []sched.Decision
+	var schedTotals []sched.RuleStats
+	var schedIter []sched.RuleIterStats
+	var needFull []bool
+	if cfg.Scheduler != nil {
+		schedInst = cfg.Scheduler.New()
+		decisions = make([]sched.Decision, len(rules))
+		schedTotals = make([]sched.RuleStats, len(rules))
+		schedIter = make([]sched.RuleIterStats, len(rules))
+		needFull = make([]bool, len(rules))
+	}
 	var rstats []RuleStats
 	if cfg.RuleMetrics {
 		rstats = make([]RuleStats, len(rules))
@@ -651,10 +760,18 @@ func (g *EGraph) Run(rules []*Rule, cfg RunConfig) RunReport {
 		var it IterStats
 		it.DeltaRows = deltaRows
 		it.SemiNaive = useDelta
+		// Scheduler decisions for the iteration, computed serially from
+		// merged stats before any worker starts — never from wall time or
+		// goroutine order, which is the determinism contract.
+		if schedInst != nil {
+			for i, r := range rules {
+				decisions[i] = schedInst.RuleBudget(r.Name, iter+1, schedTotals[i])
+			}
+		}
 
 		// Phase 1: match all rules against the frozen view on the pool.
 		startMatch := time.Now()
-		pending, tasks, scanned, err := g.collectMatches(rules, cfg, useDelta, minStamp)
+		pending, tasks, scanned, err := g.collectMatches(rules, cfg, useDelta, minStamp, decisions, needFull)
 		it.MatchTime = time.Since(startMatch)
 		it.RowsScanned = scanned
 		report.RowsScanned += scanned
@@ -837,6 +954,56 @@ func (g *EGraph) Run(rules []*Rule, cfg RunConfig) RunReport {
 			it.LiveRows, it.DeadRows = g.rowCensus()
 			it.Finds = g.uf.Finds() - findsBefore
 		}
+		// Close the scheduler's loop: fold the iteration's merged per-rule
+		// outcomes into the cumulative stats, surface interventions in
+		// IterStats (and the per-rule counters when metrics are on), record
+		// full-scan debt for skipped/truncated rules, and report the
+		// iteration back to the strategy. schedActive marks a non-final
+		// intervention — while one exists, a no-growth iteration must not
+		// be read as saturation, because an expiring ban can still wake the
+		// run up.
+		schedActive := false
+		if schedInst != nil {
+			for i := range pending {
+				rm := &pending[i]
+				d := decisions[i]
+				skipped := d.Action == sched.ActionSkip
+				schedIter[i] = sched.RuleIterStats{
+					Rule:    rules[i].Name,
+					Matched: rm.found,
+					Applied: int64(len(rm.matches)),
+					Skipped: skipped,
+					Limited: rm.schedTruncated,
+				}
+				schedTotals[i].Matched += rm.found
+				schedTotals[i].Applied += int64(len(rm.matches))
+				switch {
+				case skipped:
+					schedTotals[i].SkippedIters++
+					if !d.Final {
+						schedActive = true
+					}
+					it.Sched = append(it.Sched, SchedDecision{Rule: rules[i].Name, Action: "skip", Final: d.Final})
+					if cfg.RuleMetrics {
+						if d.Final {
+							rstats[i].Banned++
+						} else {
+							rstats[i].Throttled++
+						}
+					}
+				case rm.schedTruncated:
+					dropped := rm.found - int64(len(rm.matches))
+					schedActive = true
+					it.Sched = append(it.Sched, SchedDecision{Rule: rules[i].Name, Action: "limit", Limit: d.Limit, Dropped: dropped})
+					if cfg.RuleMetrics {
+						rstats[i].MatchLimited++
+						rstats[i].SchedDropped += dropped
+					}
+				}
+				needFull[i] = skipped || rm.schedTruncated
+			}
+			schedInst.RecordIter(iter+1, schedIter)
+		}
 		report.PerIter = append(report.PerIter, it)
 		if cfg.Live != nil {
 			lst := LiveIterStats{
@@ -854,13 +1021,16 @@ func (g *EGraph) Run(rules []*Rule, cfg RunConfig) RunReport {
 			liveRules = liveRules[:0]
 			for i := range pending {
 				rm := &pending[i]
-				if rm.found == 0 && len(rm.matches) == 0 {
+				throttled := schedInst != nil && decisions[i].Action == sched.ActionSkip
+				if rm.found == 0 && len(rm.matches) == 0 && !throttled {
 					continue
 				}
 				liveRules = append(liveRules, LiveRuleStats{
-					Name:    rm.rule.Name,
-					Matched: rm.found,
-					Applied: int64(len(rm.matches)),
+					Name:      rm.rule.Name,
+					Matched:   rm.found,
+					Applied:   int64(len(rm.matches)),
+					Throttled: throttled,
+					Limited:   rm.schedTruncated,
 				})
 			}
 			cfg.Live.LiveIter(lst, liveRules)
@@ -885,7 +1055,15 @@ func (g *EGraph) Run(rules []*Rule, cfg RunConfig) RunReport {
 			report.Stop = StopMatchLimit
 			break
 		}
-		if g.unionCount == unionsBefore && g.TotalRows() == rowsBefore {
+		// Saturation needs an honest fixpoint: no growth AND no live
+		// scheduler intervention. A no-growth iteration with a temporary
+		// ban or a binding cap is a fixpoint of the throttled system only —
+		// derivable facts remain, and an expiring ban can still produce
+		// them — so the run keeps iterating (cheaply: saturated fringes
+		// plan no tasks) until the scheduler goes quiet or a limit lands.
+		// Final skips are exempt: a permanently banned rule never comes
+		// back, so it cannot justify keeping the run alive.
+		if g.unionCount == unionsBefore && g.TotalRows() == rowsBefore && !schedActive {
 			report.Stop = StopSaturated
 			break
 		}

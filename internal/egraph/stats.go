@@ -41,6 +41,15 @@ type RuleStats struct {
 	// nothing consumes.
 	RowsCreated int64  `json:"rows_created"`
 	UnionsMade  uint64 `json:"unions_made"`
+	// Scheduler counters (zero without a RunConfig.Scheduler): Throttled
+	// counts iterations a temporary ban skipped the rule, Banned
+	// iterations a final (permanent) skip did, MatchLimited iterations a
+	// scheduler cap actually truncated the rule's matches, and
+	// SchedDropped the matches those truncations discarded.
+	Throttled    int64 `json:"throttled,omitempty"`
+	Banned       int64 `json:"banned,omitempty"`
+	MatchLimited int64 `json:"match_limited,omitempty"`
+	SchedDropped int64 `json:"sched_dropped,omitempty"`
 }
 
 // add folds another accumulation of the same rule into s.
@@ -55,6 +64,10 @@ func (s *RuleStats) add(o RuleStats) {
 	s.ApplyTime += o.ApplyTime
 	s.RowsCreated += o.RowsCreated
 	s.UnionsMade += o.UnionsMade
+	s.Throttled += o.Throttled
+	s.Banned += o.Banned
+	s.MatchLimited += o.MatchLimited
+	s.SchedDropped += o.SchedDropped
 }
 
 // MergeRuleStats folds src into dst by rule name, preserving dst's order
@@ -108,17 +121,34 @@ func (r *RunReport) Merge(o RunReport) {
 
 // FormatRuleStats renders per-rule metrics as an aligned text table in
 // rule-declaration order (the CLIs' --stats output). Times are printed in
-// milliseconds with enough precision for CI-scale runs.
+// milliseconds with enough precision for CI-scale runs. The scheduler
+// columns (thr/ban/cap) appear only when a scheduler actually acted, so
+// unscheduled runs keep the historic table shape.
 func FormatRuleStats(rules []RuleStats) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%-32s %9s %9s %7s %10s %6s %5s %8s %8s %10s %10s\n",
-		"rule", "matched", "applied", "noops", "rows", "delta", "full", "created", "unions", "match(ms)", "apply(ms)")
+	sched := false
 	for _, r := range rules {
-		fmt.Fprintf(&b, "%-32s %9d %9d %7d %10d %6d %5d %8d %8d %10.3f %10.3f\n",
+		if r.Throttled != 0 || r.Banned != 0 || r.MatchLimited != 0 {
+			sched = true
+			break
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-32s %9s %9s %7s %10s %6s %5s %8s %8s %10s %10s",
+		"rule", "matched", "applied", "noops", "rows", "delta", "full", "created", "unions", "match(ms)", "apply(ms)")
+	if sched {
+		fmt.Fprintf(&b, " %5s %5s %5s", "thr", "ban", "cap")
+	}
+	b.WriteByte('\n')
+	for _, r := range rules {
+		fmt.Fprintf(&b, "%-32s %9d %9d %7d %10d %6d %5d %8d %8d %10.3f %10.3f",
 			r.Name, r.Matched, r.Applied, r.Noops, r.RowsScanned,
 			r.DeltaQueries, r.FullScans, r.RowsCreated, r.UnionsMade,
 			float64(r.MatchTime.Nanoseconds())/1e6,
 			float64(r.ApplyTime.Nanoseconds())/1e6)
+		if sched {
+			fmt.Fprintf(&b, " %5d %5d %5d", r.Throttled, r.Banned, r.MatchLimited)
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }

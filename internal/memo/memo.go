@@ -88,5 +88,14 @@ func Key(canonicalMLIR string, ruleSources []string, cfg egraph.RunConfig) strin
 		naive = 1
 	}
 	hashInt(h, "naive", naive)
+	// A scheduler changes which matches run, so it is part of result
+	// identity. The simple strategy (and nil) is bit-identical to the
+	// unscheduled engine and is deliberately left out of the hash, so
+	// cache entries written before scheduling existed stay valid.
+	if cfg.Scheduler != nil {
+		if fp := cfg.Scheduler.Fingerprint(); fp != "simple" {
+			hashString(h, "sched", fp)
+		}
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }

@@ -11,6 +11,7 @@ import (
 
 	"dialegg/internal/egraph"
 	"dialegg/internal/obs"
+	"dialegg/internal/sched"
 )
 
 const keyModule = "module {\n}\n"
@@ -30,6 +31,25 @@ func TestKeyConfigNormalization(t *testing.T) {
 	naive := Key(keyModule, nil, egraph.RunConfig{Naive: true})
 	if naive == zero {
 		t.Error("Naive change did not change the key")
+	}
+}
+
+// TestKeySchedulerSensitivity: a real scheduler is part of result
+// identity, while nil and the simple strategy share the historic
+// unscheduled key (they are bit-identical runs).
+func TestKeySchedulerSensitivity(t *testing.T) {
+	base := Key(keyModule, nil, egraph.RunConfig{})
+	simple := Key(keyModule, nil, egraph.RunConfig{Scheduler: sched.Simple{}})
+	if simple != base {
+		t.Error("simple scheduler fragmented the cache key")
+	}
+	backoff := Key(keyModule, nil, egraph.RunConfig{Scheduler: sched.Backoff{Threshold: 10}})
+	if backoff == base {
+		t.Error("backoff scheduler did not change the key")
+	}
+	tuned := Key(keyModule, nil, egraph.RunConfig{Scheduler: sched.Backoff{Threshold: 20}})
+	if tuned == backoff {
+		t.Error("scheduler parameters did not change the key")
 	}
 }
 

@@ -60,6 +60,14 @@ type RuleProfile struct {
 	// provenance, which agree by construction.
 	RowsCreated int64  `json:"rows_created"`
 	UnionsMade  uint64 `json:"unions_made"`
+	// Scheduler counters (zero when the run had no scheduler, and in
+	// journal-derived profiles, which observe effects, not decisions):
+	// iterations the rule was temporarily throttled, permanently banned,
+	// or cap-truncated, and the matches those truncations dropped.
+	Throttled    int64 `json:"throttled,omitempty"`
+	Banned       int64 `json:"banned,omitempty"`
+	MatchLimited int64 `json:"match_limited,omitempty"`
+	SchedDropped int64 `json:"sched_dropped,omitempty"`
 }
 
 // RuleTiming is one rule's wall-time share (non-deterministic section).
@@ -141,6 +149,10 @@ func FromRunReport(rep egraph.RunReport, blame []egraph.BlameRow) *Profile {
 			FullScans:    rs.FullScans,
 			RowsCreated:  rs.RowsCreated,
 			UnionsMade:   rs.UnionsMade,
+			Throttled:    rs.Throttled,
+			Banned:       rs.Banned,
+			MatchLimited: rs.MatchLimited,
+			SchedDropped: rs.SchedDropped,
 		})
 		t.Rules = append(t.Rules, RuleTiming{
 			Name:    rs.Name,
@@ -237,6 +249,10 @@ func (p *Profile) Merge(o *Profile) {
 			d.FullScans += rp.FullScans
 			d.RowsCreated += rp.RowsCreated
 			d.UnionsMade += rp.UnionsMade
+			d.Throttled += rp.Throttled
+			d.Banned += rp.Banned
+			d.MatchLimited += rp.MatchLimited
+			d.SchedDropped += rp.SchedDropped
 		} else {
 			byName[rp.Name] = len(p.Rules)
 			p.Rules = append(p.Rules, rp)
@@ -344,8 +360,12 @@ func (p *Profile) Lint() error {
 			return fmt.Errorf("rules[%d]: %q out of sorted order after %q", i, rp.Name, p.Rules[i-1].Name)
 		}
 		if rp.Matched < 0 || rp.Applied < 0 || rp.Noops < 0 || rp.RowsScanned < 0 ||
-			rp.DeltaQueries < 0 || rp.FullScans < 0 || rp.RowsCreated < 0 {
+			rp.DeltaQueries < 0 || rp.FullScans < 0 || rp.RowsCreated < 0 ||
+			rp.Throttled < 0 || rp.Banned < 0 || rp.MatchLimited < 0 || rp.SchedDropped < 0 {
 			return fmt.Errorf("rule %s: negative counter", rp.Name)
+		}
+		if rp.SchedDropped > 0 && rp.MatchLimited == 0 {
+			return fmt.Errorf("rule %s: sched_dropped %d without a match_limited iteration", rp.Name, rp.SchedDropped)
 		}
 		if rp.Applied > rp.Matched {
 			return fmt.Errorf("rule %s: applied %d > matched %d", rp.Name, rp.Applied, rp.Matched)

@@ -1,0 +1,220 @@
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// SchemaV1 tags the versioned schedule artifact. Readers reject other
+// schemas so a format change can never be misread silently.
+const SchemaV1 = "dialegg-schedule/v1"
+
+// TunerInfo records how a tuned artifact was produced — provenance for
+// humans and the ablation tables, never consulted by loaders.
+type TunerInfo struct {
+	// Workloads names the corpus the tuner replayed.
+	Workloads []string `json:"workloads,omitempty"`
+	// Objective is the cost the search minimized (e.g. "rows_scanned").
+	Objective string `json:"objective,omitempty"`
+	// Budget and Evaluated count candidate evaluations allowed and spent.
+	Budget    int `json:"budget,omitempty"`
+	Evaluated int `json:"evaluated,omitempty"`
+}
+
+// RuleOverride tunes one rule inside a ruleset entry. Zero fields inherit
+// the entry-wide parameters.
+type RuleOverride struct {
+	Rule string `json:"rule"`
+	// Threshold/BanLength apply to backoff entries.
+	Threshold int `json:"threshold,omitempty"`
+	BanLength int `json:"ban_length,omitempty"`
+	// MatchLimit applies to matchlimit entries (negative = uncapped).
+	MatchLimit int `json:"match_limit,omitempty"`
+}
+
+// RulesetSchedule is one rule set's tuned strategy. The empty RuleSet
+// name is the default entry, used when no named entry matches — it is
+// what makes a tuned artifact loadable against rule sets the tuner never
+// saw (they get the globally best strategy instead of an error).
+type RulesetSchedule struct {
+	RuleSet string `json:"ruleset"`
+	// Scheduler is the strategy kind: "simple", "backoff", or
+	// "matchlimit".
+	Scheduler string `json:"scheduler"`
+	// Backoff parameters (zero = strategy default).
+	Threshold int `json:"threshold,omitempty"`
+	Factor    int `json:"factor,omitempty"`
+	BanLength int `json:"ban_length,omitempty"`
+	// MatchLimit parameters (zero = strategy default).
+	MatchLimit int `json:"match_limit,omitempty"`
+	// Rules holds per-rule overrides, sorted by rule name.
+	Rules []RuleOverride `json:"rules,omitempty"`
+	// BaselineCost/TunedCost record the tuner's objective value under the
+	// Simple baseline and under this entry, for the ablation record.
+	BaselineCost int64 `json:"baseline_cost,omitempty"`
+	TunedCost    int64 `json:"tuned_cost,omitempty"`
+}
+
+// Artifact is the versioned, deterministic schedule file egg-opt, egglog,
+// and egg-serve load with -schedule: schema tag, optional tuner
+// provenance, and per-ruleset strategies sorted by ruleset name.
+type Artifact struct {
+	Schema   string            `json:"schema"`
+	Tuner    *TunerInfo        `json:"tuner,omitempty"`
+	Rulesets []RulesetSchedule `json:"rulesets"`
+}
+
+// NewArtifact returns an empty v1 artifact.
+func NewArtifact() *Artifact { return &Artifact{Schema: SchemaV1} }
+
+// Canonical sorts the artifact into its deterministic order (rulesets by
+// name, overrides by rule) so Encode is byte-stable regardless of build
+// order.
+func (a *Artifact) Canonical() {
+	sort.Slice(a.Rulesets, func(i, j int) bool { return a.Rulesets[i].RuleSet < a.Rulesets[j].RuleSet })
+	for i := range a.Rulesets {
+		rs := &a.Rulesets[i]
+		sort.Slice(rs.Rules, func(x, y int) bool { return rs.Rules[x].Rule < rs.Rules[y].Rule })
+	}
+}
+
+// Encode canonicalizes and renders the artifact as indented JSON with a
+// trailing newline (the repo's artifact convention).
+func (a *Artifact) Encode() ([]byte, error) {
+	a.Canonical()
+	b, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteFile encodes the artifact to path.
+func (a *Artifact) WriteFile(path string) error {
+	b, err := a.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// ReadArtifact loads and lints a schedule artifact.
+func ReadArtifact(path string) (*Artifact, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a Artifact
+	if err := json.Unmarshal(b, &a); err != nil {
+		return nil, fmt.Errorf("sched: %s: %w", path, err)
+	}
+	if err := a.Lint(); err != nil {
+		return nil, fmt.Errorf("sched: %s: %w", path, err)
+	}
+	return &a, nil
+}
+
+// Lint checks the artifact's structural contract: the exact v1 schema,
+// rulesets sorted and unique by name, known scheduler kinds, sane
+// parameters, and overrides sorted and unique per entry. A linted
+// artifact always builds (Build cannot fail on it).
+func (a *Artifact) Lint() error {
+	if a.Schema != SchemaV1 {
+		return fmt.Errorf("schema %q, want %q", a.Schema, SchemaV1)
+	}
+	if len(a.Rulesets) == 0 {
+		return fmt.Errorf("no ruleset entries")
+	}
+	for i := range a.Rulesets {
+		rs := &a.Rulesets[i]
+		label := rs.RuleSet
+		if label == "" {
+			label = "(default)"
+		}
+		if i > 0 {
+			switch prev := a.Rulesets[i-1].RuleSet; {
+			case rs.RuleSet == prev:
+				return fmt.Errorf("duplicate ruleset entry %s", label)
+			case rs.RuleSet < prev:
+				return fmt.Errorf("ruleset entries not sorted: %s after %q", label, prev)
+			}
+		}
+		switch rs.Scheduler {
+		case "simple", "backoff", "matchlimit":
+		default:
+			return fmt.Errorf("ruleset %s: unknown scheduler %q", label, rs.Scheduler)
+		}
+		if rs.Threshold < 0 || rs.BanLength < 0 || rs.MatchLimit < 0 {
+			return fmt.Errorf("ruleset %s: negative parameter", label)
+		}
+		if rs.Factor != 0 && rs.Factor < 2 {
+			return fmt.Errorf("ruleset %s: factor %d < 2 (backoff must grow geometrically)", label, rs.Factor)
+		}
+		if rs.Scheduler == "simple" && (rs.Threshold != 0 || rs.Factor != 0 || rs.BanLength != 0 || rs.MatchLimit != 0 || len(rs.Rules) != 0) {
+			return fmt.Errorf("ruleset %s: simple takes no parameters", label)
+		}
+		for j := range rs.Rules {
+			o := &rs.Rules[j]
+			if o.Rule == "" {
+				return fmt.Errorf("ruleset %s: override with empty rule name", label)
+			}
+			if j > 0 {
+				switch prev := rs.Rules[j-1].Rule; {
+				case o.Rule == prev:
+					return fmt.Errorf("ruleset %s: duplicate override for rule %q", label, o.Rule)
+				case o.Rule < prev:
+					return fmt.Errorf("ruleset %s: overrides not sorted: %q after %q", label, o.Rule, prev)
+				}
+			}
+			if o.Threshold < 0 || o.BanLength < 0 {
+				return fmt.Errorf("ruleset %s: rule %q: negative parameter", label, o.Rule)
+			}
+		}
+	}
+	return nil
+}
+
+// For resolves the entry for a rule set name: the exact match if one
+// exists, else the default ("") entry, else nil.
+func (a *Artifact) For(ruleset string) *RulesetSchedule {
+	var def *RulesetSchedule
+	for i := range a.Rulesets {
+		switch a.Rulesets[i].RuleSet {
+		case ruleset:
+			return &a.Rulesets[i]
+		case "":
+			def = &a.Rulesets[i]
+		}
+	}
+	return def
+}
+
+// Build constructs the entry's Scheduler.
+func (rs *RulesetSchedule) Build() (Scheduler, error) {
+	switch rs.Scheduler {
+	case "simple":
+		return Simple{}, nil
+	case "backoff":
+		b := Backoff{Threshold: rs.Threshold, Factor: rs.Factor, BanLength: rs.BanLength}
+		if len(rs.Rules) > 0 {
+			b.Rules = make(map[string]BackoffRule, len(rs.Rules))
+			for _, o := range rs.Rules {
+				b.Rules[o.Rule] = BackoffRule{Threshold: o.Threshold, BanLength: o.BanLength}
+			}
+		}
+		return b, nil
+	case "matchlimit":
+		m := MatchLimit{Limit: rs.MatchLimit}
+		if len(rs.Rules) > 0 {
+			m.Rules = make(map[string]int, len(rs.Rules))
+			for _, o := range rs.Rules {
+				m.Rules[o.Rule] = o.MatchLimit
+			}
+		}
+		return m, nil
+	default:
+		return nil, fmt.Errorf("sched: unknown scheduler %q", rs.Scheduler)
+	}
+}

@@ -1,0 +1,150 @@
+package sched
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func validArtifact() *Artifact {
+	return &Artifact{
+		Schema: SchemaV1,
+		Tuner:  &TunerInfo{Workloads: []string{"chain16"}, Objective: "rows_scanned", Budget: 8, Evaluated: 8},
+		Rulesets: []RulesetSchedule{
+			{RuleSet: "", Scheduler: "backoff", Threshold: 200, Factor: 2, BanLength: 3},
+			{RuleSet: "matmul", Scheduler: "backoff", Threshold: 400,
+				Rules: []RuleOverride{{Rule: "assoc", Threshold: 50}, {Rule: "comm", Threshold: 25}}},
+			{RuleSet: "poly", Scheduler: "matchlimit", MatchLimit: 1000},
+			{RuleSet: "vecnorm", Scheduler: "simple"},
+		},
+	}
+}
+
+func TestArtifactLintAccepts(t *testing.T) {
+	if err := validArtifact().Lint(); err != nil {
+		t.Fatalf("valid artifact rejected: %v", err)
+	}
+}
+
+// TestArtifactLintViolations mutates a valid artifact one invariant at a
+// time; every mutation must be caught with a message naming the problem.
+func TestArtifactLintViolations(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Artifact)
+		wantSub string
+	}{
+		{"wrong schema", func(a *Artifact) { a.Schema = "dialegg-schedule/v0" }, "schema"},
+		{"empty", func(a *Artifact) { a.Rulesets = nil }, "no ruleset entries"},
+		{"unsorted rulesets", func(a *Artifact) {
+			a.Rulesets[1], a.Rulesets[2] = a.Rulesets[2], a.Rulesets[1]
+		}, "not sorted"},
+		{"duplicate ruleset", func(a *Artifact) { a.Rulesets[2].RuleSet = "matmul" }, "duplicate ruleset"},
+		{"unknown scheduler", func(a *Artifact) { a.Rulesets[0].Scheduler = "annealing" }, "unknown scheduler"},
+		{"negative threshold", func(a *Artifact) { a.Rulesets[0].Threshold = -5 }, "negative"},
+		{"factor one", func(a *Artifact) { a.Rulesets[0].Factor = 1 }, "factor"},
+		{"simple with params", func(a *Artifact) { a.Rulesets[3].Threshold = 7 }, "simple takes no parameters"},
+		{"unsorted overrides", func(a *Artifact) {
+			rs := &a.Rulesets[1]
+			rs.Rules[0], rs.Rules[1] = rs.Rules[1], rs.Rules[0]
+		}, "overrides not sorted"},
+		{"duplicate override", func(a *Artifact) { a.Rulesets[1].Rules[1].Rule = "assoc" }, "duplicate override"},
+		{"empty override name", func(a *Artifact) { a.Rulesets[1].Rules[0].Rule = "" }, "empty rule name"},
+	}
+	for _, tc := range cases {
+		a := validArtifact()
+		tc.mutate(a)
+		err := a.Lint()
+		if err == nil {
+			t.Errorf("%s: lint accepted the violation", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantSub)
+		}
+	}
+}
+
+// TestArtifactForResolution: exact ruleset name wins, the default entry
+// catches everything else, and a defaultless artifact returns nil for
+// unknown sets.
+func TestArtifactForResolution(t *testing.T) {
+	a := validArtifact()
+	if rs := a.For("matmul"); rs == nil || rs.Threshold != 400 {
+		t.Fatalf("For(matmul) = %+v", rs)
+	}
+	if rs := a.For("imgconv"); rs == nil || rs.RuleSet != "" {
+		t.Fatalf("For(imgconv) should fall back to the default entry, got %+v", rs)
+	}
+	noDefault := &Artifact{Schema: SchemaV1, Rulesets: []RulesetSchedule{{RuleSet: "poly", Scheduler: "simple"}}}
+	if rs := noDefault.For("imgconv"); rs != nil {
+		t.Fatalf("For without default entry should be nil, got %+v", rs)
+	}
+}
+
+// TestArtifactBuild: linted entries all build, and the built scheduler
+// carries the entry's parameters into its fingerprint.
+func TestArtifactBuild(t *testing.T) {
+	a := validArtifact()
+	for i := range a.Rulesets {
+		s, err := a.Rulesets[i].Build()
+		if err != nil {
+			t.Fatalf("Build(%q): %v", a.Rulesets[i].RuleSet, err)
+		}
+		if s.New() == nil {
+			t.Fatalf("Build(%q): nil instance", a.Rulesets[i].RuleSet)
+		}
+	}
+	s, err := a.For("matmul").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := s.Fingerprint()
+	if !strings.Contains(fp, "threshold=400") || !strings.Contains(fp, "rule=comm;25;0") {
+		t.Fatalf("built fingerprint missing tuned parameters: %s", fp)
+	}
+}
+
+// TestArtifactRoundTrip writes, re-reads (which lints), and re-encodes;
+// the two encodings must be byte-identical regardless of in-memory build
+// order.
+func TestArtifactRoundTrip(t *testing.T) {
+	a := validArtifact()
+	// Scramble build order; Encode canonicalizes.
+	a.Rulesets[0], a.Rulesets[2] = a.Rulesets[2], a.Rulesets[0]
+	path := filepath.Join(t.TempDir(), "schedule.json")
+	if err := a.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := back.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("encode is not canonical:\n%s\n---\n%s", b1, b2)
+	}
+}
+
+// TestReadArtifactRejectsUnlintable: ReadArtifact lints on load, so a
+// malformed file never reaches a scheduler.
+func TestReadArtifactRejectsUnlintable(t *testing.T) {
+	a := validArtifact()
+	a.Rulesets[0].Scheduler = "annealing"
+	path := filepath.Join(t.TempDir(), "bad.json")
+	// WriteFile encodes without linting; the reject must happen on read.
+	if err := a.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadArtifact(path); err == nil || !strings.Contains(err.Error(), "unknown scheduler") {
+		t.Fatalf("ReadArtifact accepted a bad artifact: %v", err)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"dialegg/internal/obs"
 	"dialegg/internal/obs/profile"
 	"dialegg/internal/obs/telemetry"
+	"dialegg/internal/sched"
 )
 
 // ErrQueueFull is returned (and mapped to 503) when the job queue is at
@@ -80,6 +81,12 @@ type Config struct {
 	// profile (sample every Nth match root; 0 = off). Only meaningful
 	// with Profile set.
 	ProfileSample int
+	// Schedule, when non-nil, is a linted dialegg-schedule/v1 artifact
+	// (egg-tune output): each request's rule set resolves to its entry
+	// (or the artifact's default entry) and runs under that scheduler.
+	// The scheduler participates in the content-address key, so tuned
+	// and untuned results never share cache entries.
+	Schedule *sched.Artifact
 }
 
 func (c Config) withDefaults() Config {
@@ -301,6 +308,17 @@ func (s *Server) resolve(req *OptimizeRequest) (*workItem, error) {
 		cfg.Naive = o.Naive
 	}
 	cfg.Workers = s.cfg.SatWorkers
+	// Scheduler resolution happens before the key is computed: a tuned
+	// schedule changes results, so it must be part of result identity.
+	if s.cfg.Schedule != nil {
+		if rs := s.cfg.Schedule.For(req.RuleSet); rs != nil {
+			sch, err := rs.Build()
+			if err != nil {
+				return nil, fmt.Errorf("schedule entry for %q: %w", req.RuleSet, err)
+			}
+			cfg.Scheduler = sch
+		}
+	}
 	canonical, err := memo.CanonicalizeMLIR(req.MLIR)
 	if err != nil {
 		return nil, fmt.Errorf("parsing module: %w", err)

@@ -31,8 +31,10 @@ type instruments struct {
 	engineDeltaRows *telemetry.Gauge
 	engineMatches   *telemetry.Gauge
 
-	ruleMatched *telemetry.Vec // egg_rule_matched_total{rule}
-	ruleApplied *telemetry.Vec // egg_rule_applied_total{rule}
+	ruleMatched    *telemetry.Vec // egg_rule_matched_total{rule}
+	ruleApplied    *telemetry.Vec // egg_rule_applied_total{rule}
+	schedThrottled *telemetry.Vec // egg_scheduler_throttled_total{rule}
+	schedLimited   *telemetry.Vec // egg_scheduler_limited_total{rule}
 
 	watchdogTrips *telemetry.Counter
 	slowRequests  *telemetry.Counter
@@ -122,6 +124,10 @@ func newInstruments(s *Server) *instruments {
 			"Pattern matches found, by rewrite rule.", "rule"),
 		ruleApplied: reg.NewCounterVec("egg_rule_applied_total",
 			"Matches applied, by rewrite rule.", "rule"),
+		schedThrottled: reg.NewCounterVec("egg_scheduler_throttled_total",
+			"Iterations the rule scheduler skipped a rule (backoff or waste ban), by rule.", "rule"),
+		schedLimited: reg.NewCounterVec("egg_scheduler_limited_total",
+			"Iterations a scheduler cap truncated a rule's matches, by rule.", "rule"),
 		watchdogTrips: reg.NewCounter("egg_watchdog_trips_total",
 			"Requests flagged by the engine health watchdog."),
 		slowRequests: reg.NewCounter("egg_slow_requests_total",

@@ -74,6 +74,12 @@ func (ls *liveSink) LiveIter(st egraph.LiveIterStats, rules []egraph.LiveRuleSta
 		if r.Applied > 0 {
 			t.ruleApplied.With(r.Name).Add(uint64(r.Applied))
 		}
+		if r.Throttled {
+			t.schedThrottled.With(r.Name).Add(1)
+		}
+		if r.Limited {
+			t.schedLimited.With(r.Name).Add(1)
+		}
 	}
 	ls.watchdog(st)
 }
